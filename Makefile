@@ -1,0 +1,37 @@
+# Convenience targets for the BB-Align reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-artifacts examples paper-scale clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-report:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-report:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/gps_failure_recovery.py
+	$(PYTHON) examples/cooperative_detection.py
+	$(PYTHON) examples/scenario_sweep.py
+	$(PYTHON) examples/tracked_drive.py
+	$(PYTHON) examples/visualize_matching.py
+	$(PYTHON) examples/multi_vehicle.py
+
+# Paper-scale sweeps (hours, not minutes).
+paper-scale:
+	$(PYTHON) -m repro all --pairs 200 --output results_paper_scale/
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks viz_out
+	find . -name __pycache__ -type d -exec rm -rf {} +

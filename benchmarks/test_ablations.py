@@ -1,0 +1,32 @@
+"""Bench: design-choice ablations (extension beyond the paper's Fig. 14).
+
+Regenerates the ablation table and asserts the design arguments hold on
+this substrate: the full system dominates each single-switch variant on
+the headline metric (fraction of pairs recovered under 1 m).
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import format_ablations, run_ablations
+
+
+def test_ablations(benchmark, save_artifact):
+    result = benchmark.pedantic(run_ablations, kwargs=dict(num_pairs=16),
+                                rounds=1, iterations=1)
+    save_artifact("ablations", format_ablations(result))
+
+    by_name = {row.name: row for row in result.rows}
+    full = by_name["full system"]
+    benchmark.extra_info["full_under_1m"] = full.fraction_under_1m
+
+    # The paper's height-map argument: density maps must not beat the
+    # height map (they lose the tall-landmark signal).
+    assert full.fraction_under_1m \
+        >= by_name["density-map BV"].fraction_under_1m - 0.05
+    # The pi ambiguity breaks oncoming pairs: disabling disambiguation
+    # must not improve recovery.
+    assert full.fraction_under_1m \
+        >= by_name["no pi disambiguation"].fraction_under_1m - 0.05
+    # Rotation invariance matters for rotated pairs.
+    assert full.fraction_under_1m \
+        >= by_name["no rotation invariance"].fraction_under_1m - 0.05

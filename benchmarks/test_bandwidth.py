@@ -1,0 +1,15 @@
+"""Bench: the Sec. III bandwidth claim (BV image + boxes vs raw cloud)."""
+
+from repro.experiments.bandwidth import format_bandwidth, run_bandwidth
+
+
+def test_bandwidth(benchmark, save_artifact):
+    result = benchmark.pedantic(run_bandwidth, kwargs=dict(num_pairs=10),
+                                rounds=1, iterations=1)
+    save_artifact("bandwidth", format_bandwidth(result))
+    benchmark.extra_info["reduction_dense"] = result.reduction_factor_dense
+    benchmark.extra_info["reduction_encoded"] = \
+        result.reduction_factor_encoded
+    assert result.reduction_factor_dense > 3.0
+    # The real wire format exploits sparsity and beats the dense estimate.
+    assert result.reduction_factor_encoded > result.reduction_factor_dense

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 10 (accuracy vs inter-vehicle distance)."""
+
+from repro.experiments.fig10_distance import compute_fig10, format_fig10
+
+
+def test_fig10_distance(benchmark, sweep_outcomes, save_artifact):
+    result = benchmark(compute_fig10, sweep_outcomes)
+    save_artifact("fig10_distance", format_fig10(result))
+    near = result.translation["[0,70) m"]
+    if near.values.size:
+        benchmark.extra_info["near_under_1m"] = near.fraction_below(1.0)
+        # Paper headline: ~80 % of successful recoveries within 70 m are
+        # under 1 m translation error.
+        assert near.fraction_below(1.0) >= 0.6

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 11 (stage-1-only accuracy vs distance)."""
+
+import numpy as np
+
+from repro.experiments.fig11_bv_distance import compute_fig11, format_fig11
+
+
+def test_fig11_bv_distance(benchmark, sweep_outcomes, save_artifact):
+    result = benchmark(compute_fig11, sweep_outcomes)
+    save_artifact("fig11_bv_distance", format_fig11(result))
+    # Paper shape: stage-1 accuracy decays with distance (compare the
+    # nearest and farthest populated bins).
+    populated = [(label, cdf) for label, cdf in result.translation.items()
+                 if cdf.values.size >= 3]
+    if len(populated) >= 2:
+        first = populated[0][1].value_at(0.5)
+        last = populated[-1][1].value_at(0.5)
+        benchmark.extra_info["near_median"] = first
+        benchmark.extra_info["far_median"] = last
+        assert first <= last + 0.5

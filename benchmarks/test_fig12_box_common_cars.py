@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 12 (box-alignment accuracy vs common cars)."""
+
+from repro.experiments.fig12_box_common_cars import (
+    compute_fig12,
+    format_fig12,
+)
+
+
+def test_fig12_box_common_cars(benchmark, sweep_outcomes, save_artifact):
+    result = benchmark(compute_fig12, sweep_outcomes)
+    save_artifact("fig12_box_common_cars", format_fig12(result))
+    # Paper shape: the densest populated bucket is at least as accurate
+    # as the sparsest one.
+    populated = [(label, cdf) for label, cdf in result.translation.items()
+                 if cdf.values.size >= 3]
+    if len(populated) >= 2:
+        sparse = populated[0][1].fraction_below(1.0)
+        dense = populated[-1][1].fraction_below(1.0)
+        assert dense >= sparse - 0.2

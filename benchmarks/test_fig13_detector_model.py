@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 13 (impact of the detection model)."""
+
+from repro.experiments.fig13_detector_model import format_fig13, run_fig13
+
+
+def test_fig13_detector_model(benchmark, save_artifact):
+    result = benchmark.pedantic(run_fig13, kwargs=dict(num_pairs=20),
+                                rounds=1, iterations=1)
+    save_artifact("fig13_detector_model", format_fig13(result))
+    # Paper shape: the model choice plays a minor role — both profiles
+    # land in a similar accuracy band.
+    frac = {name: cdf.fraction_below(1.0)
+            for name, cdf in result.translation.items()
+            if cdf.values.size}
+    if len(frac) == 2:
+        values = list(frac.values())
+        benchmark.extra_info.update(frac)
+        assert abs(values[0] - values[1]) < 0.4

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 7 (BB-Align vs VIPS error CDFs)."""
+
+from repro.experiments.fig7_comparison import compute_fig7, format_fig7
+
+
+def test_fig7_comparison(benchmark, sweep_outcomes, save_artifact):
+    result = benchmark(compute_fig7, sweep_outcomes)
+    save_artifact("fig7_comparison", format_fig7(result))
+    benchmark.extra_info["bb_under_1m"] = result.bb_fraction_under_1m
+    benchmark.extra_info["vips_under_1m"] = result.vips_fraction_under_1m
+    # Paper shape: BB-Align dominates VIPS on translation.
+    assert result.bb_fraction_under_1m > result.vips_fraction_under_1m

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 8 (translation error vs common cars)."""
+
+import numpy as np
+
+from repro.experiments.fig8_common_cars import compute_fig8, format_fig8
+
+
+def test_fig8_common_cars(benchmark, sweep_outcomes, save_artifact):
+    result = benchmark(compute_fig8, sweep_outcomes)
+    save_artifact("fig8_common_cars", format_fig8(result))
+    # Paper shape: in sparse traffic VIPS degrades far more than
+    # BB-Align (compare medians in the sparsest populated bucket).
+    for label in result.vips_percentiles:
+        vips_median = result.vips_percentiles[label][50]
+        bb_median = result.bb_percentiles[label][50]
+        if not (np.isnan(vips_median) or np.isnan(bb_median)):
+            benchmark.extra_info[f"bb_median_{label}"] = bb_median
+            benchmark.extra_info[f"vips_median_{label}"] = vips_median

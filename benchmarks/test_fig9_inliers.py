@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 9 (accuracy vs RANSAC inlier counts)."""
+
+from repro.experiments.fig9_inliers import compute_fig9, format_fig9
+
+
+def test_fig9_inliers(benchmark, sweep_outcomes, save_artifact):
+    result = benchmark(compute_fig9, sweep_outcomes)
+    save_artifact("fig9_inliers", format_fig9(result))
+    # Paper shape: the top bv-inlier bucket beats the bottom one.
+    buckets = list(result.by_bv_inliers.items())
+    low_label, (low_t, _) = buckets[0]
+    high_label, (high_t, _) = buckets[-1]
+    if low_t.values.size and high_t.values.size:
+        assert high_t.fraction_below(1.0) >= low_t.fraction_below(1.0)

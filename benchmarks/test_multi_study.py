@@ -1,0 +1,22 @@
+"""Bench: the multi-vehicle pose-graph extension study."""
+
+import numpy as np
+
+from repro.experiments.multi_study import (
+    format_multi_study,
+    run_multi_study,
+)
+
+
+def test_multi_study(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_multi_study, kwargs=dict(num_pairs=3, num_vehicles=3),
+        rounds=1, iterations=1)
+    save_artifact("multi_study", format_multi_study(result))
+    benchmark.extra_info["direct"] = result.direct_coverage
+    benchmark.extra_info["graph"] = result.graph_coverage
+    # The graph can only add coverage over direct pairwise edges.
+    assert result.graph_coverage >= result.direct_coverage - 1e-9
+    if not np.isnan(result.median_cycle_translation):
+        # Consistent recoveries close their loops tightly.
+        assert result.median_cycle_translation < 2.0

@@ -1,0 +1,22 @@
+"""Bench: the pose-noise severity sweep (the 'any severity' claim)."""
+
+import numpy as np
+
+from repro.experiments.noise_sweep import format_noise_sweep, run_noise_sweep
+
+
+def test_noise_sweep(benchmark, save_artifact):
+    result = benchmark.pedantic(run_noise_sweep,
+                                kwargs=dict(num_pairs=10),
+                                rounds=1, iterations=1)
+    save_artifact("noise_sweep", format_noise_sweep(result))
+
+    corrupted = list(result.corrupted_ap.values())
+    recovered = list(result.recovered_ap.values())
+    # Corrupted AP collapses from mild to total failure.
+    assert corrupted[0] > corrupted[-1] + 5.0
+    # Recovered AP stays in a narrow band across severities.
+    assert max(recovered) - min(recovered) \
+        < max(corrupted) - min(corrupted)
+    # And beats the corrupted pose at high severity.
+    assert recovered[-1] > corrupted[-1]

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the BB-Align pipeline stages.
+
+The paper's conclusion names BV-image-matching time efficiency as future
+work; these benches quantify where the time goes in this implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bev.mim import compute_mim
+from repro.core.config import BBAlignConfig
+from repro.core.pipeline import BBAlign
+from repro.core.bv_matching import BVMatcher
+from repro.detection.simulated import SimulatedDetector
+from repro.simulation.scenario import ScenarioConfig, make_frame_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_frame_pair(ScenarioConfig(distance=25.0), rng=3)
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return BVMatcher(BBAlignConfig())
+
+
+def test_bv_projection_speed(benchmark, pair, matcher):
+    result = benchmark(matcher.make_bv_image, pair.ego_cloud)
+    assert result.size > 0
+
+
+def test_mim_speed(benchmark, pair, matcher):
+    bv = matcher.make_bv_image(pair.ego_cloud)
+    result = benchmark(compute_mim, bv)
+    assert result.mim.shape == bv.image.shape
+
+
+def test_feature_extraction_speed(benchmark, pair, matcher):
+    bv = matcher.make_bv_image(pair.ego_cloud)
+    features = benchmark(matcher.extract, bv)
+    assert len(features.descriptors) > 0
+
+
+def test_full_recovery_speed(benchmark, pair):
+    detector = SimulatedDetector()
+    ego_dets = detector.detect(pair.ego_visible, 1)
+    other_dets = detector.detect(pair.other_visible, 2)
+    aligner = BBAlign()
+
+    def recover():
+        return aligner.recover(pair.ego_cloud, pair.other_cloud,
+                               [d.box for d in ego_dets],
+                               [d.box for d in other_dets], rng=0)
+
+    result = benchmark(recover)
+    assert result.stage1.success

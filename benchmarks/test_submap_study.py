@@ -1,0 +1,19 @@
+"""Bench: the submap extension study (long-range matching)."""
+
+from repro.experiments.submap_study import (
+    format_submap_study,
+    run_submap_study,
+)
+
+
+def test_submap_study(benchmark, save_artifact):
+    result = benchmark.pedantic(run_submap_study,
+                                kwargs=dict(num_pairs=5),
+                                rounds=1, iterations=1)
+    save_artifact("submap_study", format_submap_study(result))
+    benchmark.extra_info["single_success"] = result.single_success
+    benchmark.extra_info["submap_success"] = result.submap_success
+    # Accumulation must not hurt long-range matching.
+    assert result.submap_success >= result.single_success - 1e-9
+    assert result.submap_median_inliers \
+        >= result.single_median_inliers - 1.0

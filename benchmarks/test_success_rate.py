@@ -1,0 +1,14 @@
+"""Bench: regenerate the Sec. V-A success-rate analysis."""
+
+from repro.experiments.success_rate import (
+    compute_success_rate,
+    format_success_rate,
+)
+
+
+def test_success_rate(benchmark, sweep_outcomes, save_artifact):
+    result = benchmark(compute_success_rate, sweep_outcomes)
+    save_artifact("success_rate", format_success_rate(result))
+    benchmark.extra_info["success_rate"] = result.overall
+    # Paper: 80 % overall; our band: a clear majority succeeds.
+    assert result.overall >= 0.5

@@ -1,0 +1,18 @@
+"""Bench: the temporal tracking extension study."""
+
+from repro.experiments.tracking_study import (
+    format_tracking_study,
+    run_tracking_study,
+)
+
+
+def test_tracking_study(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_tracking_study,
+        kwargs=dict(num_pairs=3, frames_per_sequence=6),
+        rounds=1, iterations=1)
+    save_artifact("tracking_study", format_tracking_study(result))
+    benchmark.extra_info["raw_coverage"] = result.raw_coverage
+    benchmark.extra_info["tracked_coverage"] = result.tracked_coverage
+    # Coasting on odometry must not lose usable coverage.
+    assert result.tracked_coverage >= result.raw_coverage - 0.05

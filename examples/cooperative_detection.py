@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Scenario: cooperative object detection under pose error (Table I).
+
+Runs the four fusion pipelines (early / late / F-Cooper-style /
+coBEVT-style) on a handful of simulated frame pairs three ways — with the
+true pose, with the paper's Gaussian-corrupted pose, and with BB-Align's
+recovered pose — and prints the resulting AP table.
+
+Run:
+    python examples/cooperative_detection.py
+"""
+
+import numpy as np
+
+from repro import BBAlign
+from repro.detection.evaluation import evaluate_cooperative_detection
+from repro.detection.fusion import (
+    CoBEVTFusionDetector,
+    EarlyFusionDetector,
+    FCooperFusionDetector,
+    LateFusionDetector,
+)
+from repro.detection.simulated import SimulatedDetector
+from repro.noise.pose_noise import add_pose_noise
+from repro.simulation import ScenarioConfig, make_frame_pair
+
+
+def main() -> None:
+    pairs = [make_frame_pair(ScenarioConfig(distance=float(d)), rng=seed)
+             for d in (15, 25, 40) for seed in (1, 2)]
+    print(f"{len(pairs)} frame pairs, distances "
+          f"{[f'{p.distance:.0f}' for p in pairs]} m")
+
+    aligner = BBAlign()
+    detector = SimulatedDetector()
+    pose_sets: dict[str, list] = {"true": [], "noisy": [], "recovered": []}
+    for i, pair in enumerate(pairs):
+        noisy = add_pose_noise(pair.gt_relative, 2.0, 2.0, rng=i)
+        ego_dets = detector.detect(pair.ego_visible, rng=2 * i)
+        other_dets = detector.detect(pair.other_visible, rng=2 * i + 1)
+        recovery = aligner.recover(pair.ego_cloud, pair.other_cloud,
+                                   [d.box for d in ego_dets],
+                                   [d.box for d in other_dets])
+        recovered = recovery.transform if recovery.success else noisy
+        pose_sets["true"].append((pair, pair.gt_relative))
+        pose_sets["noisy"].append((pair, noisy))
+        pose_sets["recovered"].append((pair, recovered))
+
+    methods = [EarlyFusionDetector(), LateFusionDetector(),
+               FCooperFusionDetector(), CoBEVTFusionDetector()]
+    print(f"\n{'method':>14} | {'pose':>9} | AP@0.5 | AP@0.7")
+    print("-" * 50)
+    for method in methods:
+        for label in ("true", "noisy", "recovered"):
+            result = evaluate_cooperative_detection(pose_sets[label],
+                                                    method, rng=0)
+            ap50 = result.overall[0.5].ap_percent
+            ap70 = result.overall[0.7].ap_percent
+            print(f"{method.name:>14} | {label:>9} | {ap50:6.1f} | {ap70:6.1f}")
+        print("-" * 50)
+
+
+if __name__ == "__main__":
+    main()

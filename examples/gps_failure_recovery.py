@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Scenario: total GPS failure during cooperative driving.
+
+The paper's motivation (Fig. 1): corrupted pose information misplaces
+every shared observation.  This example corrupts the transmitted pose
+with increasingly severe noise — up to a complete GPS outage — and shows
+that BB-Align's recovery is untouched, because it never consumes the
+corrupted pose at all.
+
+Run:
+    python examples/gps_failure_recovery.py
+"""
+
+import numpy as np
+
+from repro import BBAlign
+from repro.detection.simulated import SimulatedDetector
+from repro.metrics.pose_error import pose_errors
+from repro.noise.pose_noise import PoseNoiseModel
+from repro.simulation import ScenarioConfig, make_frame_pair
+
+
+def main() -> None:
+    pair = make_frame_pair(ScenarioConfig(distance=25.0), rng=11)
+    detector = SimulatedDetector()
+    ego_dets = detector.detect(pair.ego_visible, rng=1)
+    other_dets = detector.detect(pair.other_visible, rng=2)
+
+    result = BBAlign().recover(pair.ego_cloud, pair.other_cloud,
+                               [d.box for d in ego_dets],
+                               [d.box for d in other_dets])
+    recovered_errors = pose_errors(result.transform, pair.gt_relative)
+
+    print("corruption severity        | GPS pose error | BB-Align error")
+    print("-" * 62)
+    severities = [
+        ("mild (0.5 m, 0.5 deg)", PoseNoiseModel(0.5, 0.5)),
+        ("paper Table I (2 m, 2 deg)", PoseNoiseModel(2.0, 2.0)),
+        ("severe (10 m, 20 deg)", PoseNoiseModel(10.0, 20.0)),
+        ("total failure", PoseNoiseModel(0, 0, failure_prob=1.0,
+                                         failure_radius=80.0)),
+    ]
+    for label, model in severities:
+        corrupted = model.corrupt(pair.gt_relative, rng=3)
+        gps_errors = pose_errors(corrupted, pair.gt_relative)
+        print(f"{label:26s} | {gps_errors.translation:9.2f} m    | "
+              f"{recovered_errors.translation:.2f} m / "
+              f"{recovered_errors.rotation_deg:.2f} deg")
+
+    print("\nBB-Align is independent of the corrupted pose: the recovery "
+          "uses only\nthe received BV image and bounding boxes "
+          f"({result.message_bytes / 1024:.0f} KiB).")
+
+
+if __name__ == "__main__":
+    main()

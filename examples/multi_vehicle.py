@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario: three cooperating vehicles and the pose graph.
+
+Three CAVs drive in a convoy; every pair runs BB-Align, and the pose
+graph synchronizes the results into the ego frame — relaying through
+intermediates where a direct recovery fails, and reporting loop-closure
+residuals as a ground-truth-free consistency check.
+
+Run:
+    python examples/multi_vehicle.py
+"""
+
+import numpy as np
+
+from repro.core.multi import MultiVehicleAligner
+from repro.detection.simulated import SimulatedDetector
+from repro.simulation.multi import MultiScenarioConfig, make_multi_frame
+from repro.simulation.scenario import ScenarioConfig
+from repro.simulation.world import ScenarioKind, WorldConfig
+
+
+def main() -> None:
+    frame = make_multi_frame(MultiScenarioConfig(
+        scenario=ScenarioConfig(world=WorldConfig(kind=ScenarioKind.URBAN),
+                                same_direction_prob=1.0),
+        num_vehicles=3, spacing=24.0), rng=7)
+    print(f"{frame.num_vehicles} vehicles; pairwise distances:",
+          [f"{np.hypot(frame.poses[i].tx - frame.poses[j].tx, frame.poses[i].ty - frame.poses[j].ty):.0f} m"
+           for i in range(3) for j in range(i + 1, 3)])
+
+    detector = SimulatedDetector()
+    boxes = [[d.box for d in detector.detect(visible, rng=i)]
+             for i, visible in enumerate(frame.visible)]
+    aligner = MultiVehicleAligner()
+    result = aligner.align(list(frame.clouds), boxes, rng=0)
+
+    print("\npairwise recoveries:")
+    for (i, j), recovery in result.recoveries.items():
+        truth = frame.gt_relative(i, j)
+        err = recovery.transform.translation_distance(truth)
+        flag = "ok  " if recovery.success else "FAIL"
+        print(f"  {i} <- {j}: {flag} inliers={recovery.inliers_bv:3d}/"
+              f"{recovery.inliers_box:2d}  err={err:5.2f} m")
+
+    print("\nsynchronized poses (ego frame):")
+    for index, pose in enumerate(result.poses):
+        if pose is None:
+            print(f"  vehicle {index}: unresolved")
+            continue
+        truth = frame.gt_relative(0, index)
+        print(f"  vehicle {index}: {pose}  "
+              f"(err {pose.translation_distance(truth):.2f} m)")
+
+    if result.cycle_residuals:
+        t_res, r_res = result.cycle_residuals[0]
+        print(f"\n3-cycle loop closure: {t_res:.2f} m / {r_res:.2f} deg "
+              "(no ground truth needed — small loop error means "
+              "consistent recoveries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Scenario: how recovery quality varies with environment and distance.
+
+Sweeps the scenario generator over all four world flavors and a range of
+inter-vehicle distances, prints per-cell success rate and accuracy —
+a miniature of the paper's Figs. 10 and the Sec. V-A failure analysis.
+
+Run:
+    python examples/scenario_sweep.py
+"""
+
+import numpy as np
+
+from repro import BBAlign
+from repro.detection.simulated import SimulatedDetector
+from repro.simulation import ScenarioConfig, WorldConfig, make_frame_pair
+from repro.simulation.world import ScenarioKind
+
+
+def main() -> None:
+    aligner = BBAlign()
+    detector = SimulatedDetector()
+    distances = (15.0, 35.0, 55.0)
+    seeds = (1, 2, 3)
+
+    print(f"{'scenario':>9} | {'distance':>8} | {'success':>7} | "
+          f"{'median terr':>11} | {'median rerr':>11}")
+    print("-" * 62)
+    for kind in ScenarioKind:
+        for distance in distances:
+            errors_t, errors_r, successes = [], [], 0
+            for seed in seeds:
+                pair = make_frame_pair(ScenarioConfig(
+                    world=WorldConfig(kind=kind), distance=distance),
+                    rng=seed)
+                ego_dets = detector.detect(pair.ego_visible, rng=seed)
+                other_dets = detector.detect(pair.other_visible,
+                                             rng=seed + 100)
+                result = aligner.recover(pair.ego_cloud, pair.other_cloud,
+                                         [d.box for d in ego_dets],
+                                         [d.box for d in other_dets])
+                if result.success:
+                    successes += 1
+                    errors_t.append(
+                        result.translation_error(pair.gt_relative))
+                    errors_r.append(
+                        result.rotation_error_deg(pair.gt_relative))
+            terr = f"{np.median(errors_t):9.2f} m" if errors_t else "     --  "
+            rerr = f"{np.median(errors_r):8.2f} deg" if errors_r else "     --  "
+            print(f"{kind.value:>9} | {distance:6.0f} m | "
+                  f"{successes}/{len(seeds):>5} | {terr:>11} | {rerr:>11}")
+
+    print("\nExpected shape (paper): success and accuracy degrade with "
+          "distance and\nwith landmark scarcity (open > highway > "
+          "suburban/urban failure rates).")
+
+
+if __name__ == "__main__":
+    main()

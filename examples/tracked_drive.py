@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario: tracking the relative pose over a drive sequence.
+
+Runs BB-Align per frame over an evolving two-vehicle scene and compares
+raw per-frame recovery with the odometry-fused :class:`PoseTracker` —
+the natural deployment of the paper's plug-and-play module in a stream.
+
+Run:
+    python examples/tracked_drive.py
+"""
+
+import numpy as np
+
+from repro import BBAlign
+from repro.core.temporal import PoseTracker
+from repro.detection.simulated import SimulatedDetector
+from repro.simulation.scenario import ScenarioConfig
+from repro.simulation.sequence import DriveSequence, SequenceConfig
+
+
+def main() -> None:
+    config = SequenceConfig(
+        scenario=ScenarioConfig(distance=25.0, same_direction_prob=1.0),
+        num_frames=8, frame_dt=0.2)
+    sequence = DriveSequence(config, rng=5)
+    aligner = BBAlign()
+    detector = SimulatedDetector()
+    tracker = PoseTracker()
+
+    print(f"{'frame':>5} | {'recovery':>9} | {'raw err':>8} | "
+          f"{'tracked err':>11} | state")
+    print("-" * 56)
+    previous = None
+    for t, frame in enumerate(sequence):
+        ego_dets = detector.detect(frame.ego_visible, rng=2 * t)
+        other_dets = detector.detect(frame.other_visible, rng=2 * t + 1)
+        recovery = aligner.recover(frame.ego_cloud, frame.other_cloud,
+                                   [d.box for d in ego_dets],
+                                   [d.box for d in other_dets], rng=t)
+        # Odometry increments between frames, from each vehicle's own
+        # pose change (what onboard odometry reports).
+        if previous is not None and tracker.initialized:
+            ego_step = previous.ego_pose.inverse() @ frame.ego_pose
+            other_step = previous.other_pose.inverse() @ frame.other_pose
+            tracker.predict(ego_step, other_step)
+        tracked = tracker.update(recovery)
+        previous = frame
+
+        raw_err = recovery.transform.translation_distance(frame.gt_relative)
+        trk_err = tracked.transform.translation_distance(frame.gt_relative)
+        state = ("measured" if tracked.used_measurement
+                 else f"coasting({tracked.frames_since_update})")
+        flag = "ok" if recovery.success else "FAIL"
+        print(f"{t:5d} | {flag:>9} | {raw_err:6.2f} m | "
+              f"{trk_err:9.2f} m | {state}")
+
+    print("\nThe tracker coasts through failed recoveries on odometry and "
+          "smooths\nsuccessful ones by confidence-weighted blending.")
+
+
+if __name__ == "__main__":
+    main()

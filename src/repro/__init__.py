@@ -1,0 +1,27 @@
+"""BB-Align reproduction: lightweight pose recovery for V2V cooperative
+perception (Song et al., ICDCS 2024).
+
+Quickstart::
+
+    from repro import BBAlign
+    aligner = BBAlign()
+    result = aligner.recover(ego_cloud, other_cloud, ego_boxes, other_boxes)
+    print(result.transform)   # pose of the other car in the ego frame
+
+See :mod:`repro.simulation` for the V2V4Real-substitute dataset generator
+and :mod:`repro.experiments` for the paper's figures and tables.
+"""
+
+from repro.core import BBAlign, BBAlignConfig, PoseRecoveryResult
+from repro.geometry import SE2, SE3
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BBAlign",
+    "BBAlignConfig",
+    "PoseRecoveryResult",
+    "SE2",
+    "SE3",
+    "__version__",
+]

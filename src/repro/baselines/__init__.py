@@ -1,0 +1,7 @@
+"""Baseline pose-recovery methods the paper compares against."""
+
+from repro.baselines.icp import IcpResult, icp_2d
+from repro.baselines.vips import VipsConfig, VipsResult, vips_graph_matching
+
+__all__ = ["IcpResult", "VipsConfig", "VipsResult", "icp_2d",
+           "vips_graph_matching"]

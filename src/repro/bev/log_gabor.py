@@ -1,0 +1,189 @@
+"""2-D Log-Gabor filter bank (paper Eq. 6-8).
+
+The paper (following RIFT [25] / BVMatch [27] / Kovesi [32]) filters the BV
+image with a bank of ``N_s x N_o`` Log-Gabor filters.  A 2-D Log-Gabor
+filter is defined in the *frequency domain* in polar coordinates
+``(rho, theta)`` as the product of a log-normal radial window centered on
+the scale's center frequency and a Gaussian angular window centered on the
+preferred orientation — this is the (rho, theta, rho_0, theta_0)
+parameterization of the paper's Eq. (6); the polar change of variables of
+Eq. (5) is exactly the frequency-plane polar grid built here.  Filtering is
+a frequency-domain product followed by an inverse FFT; the complex
+magnitude of the result is the amplitude of Eq. (8).
+
+Scale center frequencies follow Kovesi's convention referenced by the
+paper's footnote 2: wavelength ``lambda_s = min_wavelength * mult**(s-1)``,
+center frequency ``rho_s = 1 / lambda_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LogGaborConfig", "LogGaborBank"]
+
+
+@dataclass(frozen=True)
+class LogGaborConfig:
+    """Hyperparameters of the filter bank.
+
+    Defaults match the paper's evaluation setup (``N_s = 4`` scales,
+    ``N_o = 12`` orientations) with Kovesi's standard bandwidth settings.
+
+    Attributes:
+        num_scales: ``N_s``.
+        num_orientations: ``N_o``; orientation ``o`` is at angle
+            ``(o - 1) * pi / N_o``.
+        min_wavelength: wavelength of the finest scale, in pixels.
+        mult: scaling factor between successive filter wavelengths.
+        sigma_on_f: ratio ``sigma_rho / rho_0`` of the log-normal radial
+            window (0.55 ~ two-octave bandwidth).
+        d_theta_on_sigma: ratio of the angular spacing between filter
+            orientations to the angular Gaussian sigma.
+    """
+
+    num_scales: int = 4
+    num_orientations: int = 12
+    min_wavelength: float = 3.0
+    mult: float = 1.6
+    sigma_on_f: float = 0.55
+    d_theta_on_sigma: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.num_scales < 1:
+            raise ValueError("num_scales must be >= 1")
+        if self.num_orientations < 2:
+            raise ValueError("num_orientations must be >= 2")
+        if self.min_wavelength < 2:
+            raise ValueError("min_wavelength must be >= 2 pixels (Nyquist)")
+        if self.mult <= 1:
+            raise ValueError("mult must be > 1")
+        if not (0 < self.sigma_on_f < 1):
+            raise ValueError("sigma_on_f must be in (0, 1)")
+
+    @property
+    def orientations(self) -> np.ndarray:
+        """Filter orientations ``O[o] = (o - 1) * pi / N_o`` (radians)."""
+        return np.arange(self.num_orientations) * np.pi / self.num_orientations
+
+    @property
+    def wavelengths(self) -> np.ndarray:
+        """Per-scale wavelengths in pixels."""
+        return self.min_wavelength * self.mult ** np.arange(self.num_scales)
+
+    @property
+    def center_frequencies(self) -> np.ndarray:
+        """Per-scale center frequencies ``rho_s`` (cycles/pixel)."""
+        return 1.0 / self.wavelengths
+
+
+class LogGaborBank:
+    """A Log-Gabor filter bank precomputed for one image size.
+
+    Building the frequency-domain filters is the expensive part; this class
+    caches them so repeated MIM computations on same-sized BV images (every
+    frame of a drive) reuse the bank.
+    """
+
+    def __init__(self, size: int, config: LogGaborConfig | None = None) -> None:
+        if size < 4:
+            raise ValueError("image size must be >= 4 pixels")
+        self.size = int(size)
+        self.config = config or LogGaborConfig()
+        self._radial, self._angular, self._lowpass = self._build()
+
+    # ------------------------------------------------------------------
+    def _frequency_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Normalized frequency-plane polar grid (rho in cycles/pixel)."""
+        n = self.size
+        freqs = np.fft.fftfreq(n)
+        fx, fy = np.meshgrid(freqs, freqs)
+        rho = np.sqrt(fx ** 2 + fy ** 2)
+        rho[0, 0] = 1.0  # avoid log(0) at DC; the DC gain is zeroed below
+        # BV images use row = +y (world axes, no flip), so the frequency
+        # angle uses the same handedness; a +alpha world rotation then
+        # shifts MIM orientation indices by +alpha, which the descriptor's
+        # rotation normalization relies on.
+        theta = np.arctan2(fy, fx)
+        return rho, theta
+
+    def _build(self):
+        cfg = self.config
+        rho, theta = self._frequency_grid()
+
+        # Low-pass window keeps the radial filters from wrapping at the
+        # FFT boundary (Kovesi's standard trick).
+        lowpass = 1.0 / (1.0 + (rho / 0.45) ** 30)
+
+        radial = []
+        for f0 in cfg.center_frequencies:
+            log_rho = np.log(rho / f0)
+            r = np.exp(-(log_rho ** 2) / (2.0 * np.log(cfg.sigma_on_f) ** 2))
+            r *= lowpass
+            r[0, 0] = 0.0  # zero DC gain
+            radial.append(r)
+
+        d_theta_sigma = (np.pi / cfg.num_orientations) / cfg.d_theta_on_sigma
+        angular = []
+        sin_t, cos_t = np.sin(theta), np.cos(theta)
+        for theta0 in cfg.orientations:
+            # Angular distance folded onto [0, pi) — Log-Gabor orientation
+            # windows are symmetric under 180-degree rotation.
+            ds = sin_t * np.cos(theta0) - cos_t * np.sin(theta0)
+            dc = cos_t * np.cos(theta0) + sin_t * np.sin(theta0)
+            d_theta = np.abs(np.arctan2(ds, dc))
+            a = np.exp(-(d_theta ** 2) / (2.0 * d_theta_sigma ** 2))
+            angular.append(a)
+        return radial, angular, lowpass
+
+    # ------------------------------------------------------------------
+    def amplitude(self, image: np.ndarray, scale: int,
+                  orientation: int) -> np.ndarray:
+        """Amplitude response (Eq. 8) for one (scale, orientation) filter."""
+        responses = self.amplitudes_by_orientation(
+            image, scales=[scale], orientations=[orientation])
+        return responses[0][0]
+
+    def amplitudes_by_orientation(self, image: np.ndarray,
+                                  scales=None, orientations=None) -> list[list[np.ndarray]]:
+        """All amplitude responses, indexed ``[orientation][scale]``."""
+        image = np.asarray(image, dtype=float)
+        if image.shape != (self.size, self.size):
+            raise ValueError(
+                f"image shape {image.shape} does not match bank size {self.size}")
+        cfg = self.config
+        scales = range(cfg.num_scales) if scales is None else scales
+        orientations = (range(cfg.num_orientations) if orientations is None
+                        else orientations)
+        image_fft = np.fft.fft2(image)
+        out: list[list[np.ndarray]] = []
+        for o in orientations:
+            per_scale = []
+            for s in scales:
+                filt = self._radial[s] * self._angular[o]
+                response = np.fft.ifft2(image_fft * filt)
+                per_scale.append(np.abs(response))
+            out.append(per_scale)
+        return out
+
+    def orientation_amplitude_sum(self, image: np.ndarray) -> np.ndarray:
+        """Eq. (9): per-orientation amplitude summed over scales.
+
+        Returns an array of shape ``(N_o, H, H)``.
+        """
+        image = np.asarray(image, dtype=float)
+        if image.shape != (self.size, self.size):
+            raise ValueError(
+                f"image shape {image.shape} does not match bank size {self.size}")
+        cfg = self.config
+        image_fft = np.fft.fft2(image)
+        sums = np.empty((cfg.num_orientations, self.size, self.size))
+        for o in range(cfg.num_orientations):
+            acc = np.zeros((self.size, self.size))
+            for s in range(cfg.num_scales):
+                filt = self._radial[s] * self._angular[o]
+                acc += np.abs(np.fft.ifft2(image_fft * filt))
+            sums[o] = acc
+        return sums

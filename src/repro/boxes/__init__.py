@@ -1,0 +1,29 @@
+"""Oriented bounding boxes and the geometry of stage-2 alignment.
+
+3-D detection boxes, their BEV (2-D rotated rectangle) projections,
+rotated IoU via convex clipping, greedy overlap matching, the
+consistently-ordered corner pairing of Section IV-B, and NMS for the
+late-fusion detector of Table I.
+"""
+
+from repro.boxes.box import Box2D, Box3D
+from repro.boxes.iou import bev_iou, iou_matrix
+from repro.boxes.matching import (
+    BoxMatch,
+    corner_correspondences,
+    match_boxes_by_overlap,
+    pair_corners,
+)
+from repro.boxes.nms import non_max_suppression
+
+__all__ = [
+    "Box2D",
+    "Box3D",
+    "BoxMatch",
+    "bev_iou",
+    "corner_correspondences",
+    "iou_matrix",
+    "match_boxes_by_overlap",
+    "non_max_suppression",
+    "pair_corners",
+]

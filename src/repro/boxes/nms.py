@@ -1,0 +1,45 @@
+"""Non-maximum suppression on rotated BEV boxes.
+
+Used by the late-fusion pipeline of Table I to merge the two cars'
+detection lists, and by the clustering detection head to deduplicate
+proposals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.boxes.box import Box2D
+from repro.boxes.iou import bev_iou
+
+__all__ = ["non_max_suppression"]
+
+
+def non_max_suppression(boxes: list[Box2D], scores: np.ndarray,
+                        iou_threshold: float = 0.3) -> list[int]:
+    """Greedy NMS: keep the highest-scoring box, drop overlapping rivals.
+
+    Args:
+        boxes: candidate BEV boxes.
+        scores: per-box confidence, same length as ``boxes``.
+        iou_threshold: boxes overlapping a kept box above this are dropped.
+
+    Returns:
+        Indices of kept boxes, in decreasing-score order.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if len(boxes) != len(scores):
+        raise ValueError("boxes and scores must have the same length")
+    if not (0 < iou_threshold <= 1):
+        raise ValueError("iou_threshold must be in (0, 1]")
+    order = list(np.argsort(-scores, kind="stable"))
+    kept: list[int] = []
+    while order:
+        current = order.pop(0)
+        kept.append(int(current))
+        survivors = []
+        for other in order:
+            if bev_iou(boxes[current], boxes[other]) <= iou_threshold:
+                survivors.append(other)
+        order = survivors
+    return kept

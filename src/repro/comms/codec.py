@@ -1,0 +1,148 @@
+"""Wire codecs for BV images and bounding boxes.
+
+BV images are ~95 % zeros (empty cells), so the codec quantizes
+intensities to 8 bits and run-length-encodes zero runs:
+
+* token ``0x00`` + uint16 run length: a run of empty cells,
+* any other byte: one occupied cell's quantized intensity (1..255).
+
+Boxes are packed as five little-endian float32 values each
+(x, y, length, width, yaw) — the 2-D BEV rectangle stage 2 consumes.
+All headers are explicit so messages are self-describing.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.bev.projection import BVImage
+from repro.boxes.box import Box2D
+
+__all__ = ["encode_bv_image", "decode_bv_image", "encode_boxes",
+           "decode_boxes"]
+
+_BV_MAGIC = b"BV01"
+_BV_MAGIC_Z = b"BVZ1"
+_BOX_MAGIC = b"BX01"
+_BV_HEADER = struct.Struct("<4sHddd")   # magic, size, cell, range, scale
+_BOX_HEADER = struct.Struct("<4sH")     # magic, count
+_BOX_RECORD = struct.Struct("<5f")
+
+
+def encode_bv_image(bv: BVImage, max_intensity: float | None = None,
+                    compress: bool = False) -> bytes:
+    """Serialize a BV image (8-bit quantization + zero-RLE).
+
+    Args:
+        bv: the image to encode.
+        max_intensity: quantization full-scale; defaults to the image
+            maximum (stored in the header so decoding is self-contained).
+        compress: additionally deflate the RLE payload with zlib —
+            typically another ~2x on street scenes (repeated wall
+            intensities compress well).
+
+    Returns:
+        The encoded byte string.
+    """
+    image = bv.image
+    scale = float(max_intensity if max_intensity is not None
+                  else max(image.max(), 1e-9))
+    # Quantize occupied cells to 1..255 (0 is reserved for empty).
+    quantized = np.zeros(image.shape, dtype=np.uint8)
+    occupied = image > 0
+    levels = np.clip(np.round(image[occupied] / scale * 255.0), 1, 255)
+    quantized[occupied] = levels.astype(np.uint8)
+
+    flat = quantized.ravel()
+    magic = _BV_MAGIC_Z if compress else _BV_MAGIC
+    chunks: list[bytes] = [_BV_HEADER.pack(magic, bv.size,
+                                           bv.cell_size, bv.lidar_range,
+                                           scale)]
+    # Zero-run-length encoding via run boundaries.
+    is_zero = flat == 0
+    boundaries = np.flatnonzero(np.diff(is_zero.astype(np.int8))) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [len(flat)]])
+    for start, end in zip(starts, ends):
+        if is_zero[start]:
+            run = int(end - start)
+            while run > 0:
+                step = min(run, 0xFFFF)
+                chunks.append(b"\x00" + struct.pack("<H", step))
+                run -= step
+        else:
+            chunks.append(flat[start:end].tobytes())
+    if compress:
+        header, payload = chunks[0], b"".join(chunks[1:])
+        return header + zlib.compress(payload, level=6)
+    return b"".join(chunks)
+
+
+def decode_bv_image(data: bytes) -> BVImage:
+    """Inverse of :func:`encode_bv_image` (lossy only by quantization)."""
+    try:
+        magic, size, cell_size, lidar_range, scale = _BV_HEADER.unpack_from(
+            data, 0)
+    except struct.error as exc:
+        raise ValueError(f"malformed BV image message: {exc}") from exc
+    if magic not in (_BV_MAGIC, _BV_MAGIC_Z):
+        raise ValueError("not a BV image message")
+    offset = _BV_HEADER.size
+    if magic == _BV_MAGIC_Z:
+        try:
+            payload = zlib.decompress(data[offset:])
+        except zlib.error as exc:
+            raise ValueError(f"corrupt compressed payload: {exc}") from exc
+        data = data[:offset] + payload
+    flat = np.zeros(size * size, dtype=np.float64)
+    cursor = 0
+    view = memoryview(data)
+    while offset < len(data):
+        byte = view[offset]
+        if byte == 0:
+            try:
+                run = struct.unpack_from("<H", data, offset + 1)[0]
+            except struct.error as exc:
+                raise ValueError("truncated BV payload") from exc
+            cursor += run
+            offset += 3
+        else:
+            flat[cursor] = byte / 255.0 * scale
+            cursor += 1
+            offset += 1
+    if cursor != size * size:
+        raise ValueError(
+            f"truncated BV payload: {cursor} of {size * size} cells")
+    return BVImage(flat.reshape(size, size), cell_size, lidar_range)
+
+
+def encode_boxes(boxes: list[Box2D]) -> bytes:
+    """Serialize BEV boxes (five float32 values each)."""
+    chunks = [_BOX_HEADER.pack(_BOX_MAGIC, len(boxes))]
+    for box in boxes:
+        chunks.append(_BOX_RECORD.pack(box.center_x, box.center_y,
+                                       box.length, box.width, box.yaw))
+    return b"".join(chunks)
+
+
+def decode_boxes(data: bytes) -> list[Box2D]:
+    """Inverse of :func:`encode_boxes`."""
+    try:
+        magic, count = _BOX_HEADER.unpack_from(data, 0)
+    except struct.error as exc:
+        raise ValueError(f"malformed box message: {exc}") from exc
+    if magic != _BOX_MAGIC:
+        raise ValueError("not a box message")
+    boxes: list[Box2D] = []
+    offset = _BOX_HEADER.size
+    for _ in range(count):
+        try:
+            x, y, length, width, yaw = _BOX_RECORD.unpack_from(data, offset)
+        except struct.error as exc:
+            raise ValueError("truncated box message") from exc
+        boxes.append(Box2D(x, y, length, width, yaw))
+        offset += _BOX_RECORD.size
+    return boxes

@@ -1,0 +1,44 @@
+"""BB-Align: the paper's two-stage pose recovery framework.
+
+:class:`BBAlign` (in :mod:`repro.core.pipeline`) implements Algorithm 1
+end-to-end; :mod:`repro.core.bv_matching` is stage 1 (BV image matching)
+and :mod:`repro.core.box_alignment` stage 2 (bounding-box refinement).
+"""
+
+from repro.core.box_alignment import BoxAligner, BoxAlignment
+from repro.core.confidence import ConfidenceModel, fit_confidence_model
+from repro.core.bv_matching import BVFeatures, BVMatcher, BVMatch
+from repro.core.config import (
+    BBAlignConfig,
+    BVImageConfig,
+    BoxAlignConfig,
+    BVMatchRansacConfig,
+    SuccessCriteria,
+)
+from repro.core.multi import MultiAlignment, MultiVehicleAligner, PairwiseEdge
+from repro.core.pipeline import BBAlign
+from repro.core.result import PoseRecoveryResult
+from repro.core.temporal import PoseTracker, TrackedPose, TrackerConfig
+
+__all__ = [
+    "BBAlign",
+    "BBAlignConfig",
+    "BVFeatures",
+    "BVImageConfig",
+    "BVMatch",
+    "BVMatchRansacConfig",
+    "BVMatcher",
+    "BoxAlignConfig",
+    "BoxAligner",
+    "BoxAlignment",
+    "ConfidenceModel",
+    "MultiAlignment",
+    "MultiVehicleAligner",
+    "PairwiseEdge",
+    "PoseRecoveryResult",
+    "PoseTracker",
+    "SuccessCriteria",
+    "TrackedPose",
+    "TrackerConfig",
+    "fit_confidence_model",
+]

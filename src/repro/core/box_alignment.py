@@ -1,0 +1,108 @@
+"""Stage 2: fine alignment from object bounding boxes (Section IV-B).
+
+The other car's BEV boxes are brought into the ego frame with the stage-1
+transform ``T_bv``; boxes that overlap an ego box are treated as the same
+physical object, their corners paired in consistent order, and a second
+RANSAC estimates the residual correction ``T_box``.  The combined result
+is ``T_2D = T_box @ T_bv`` (Algorithm 1, line 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.boxes.box import Box2D
+from repro.boxes.matching import (
+    BoxMatch,
+    corner_correspondences,
+    match_boxes_by_overlap,
+)
+from repro.core.config import BoxAlignConfig
+from repro.geometry.ransac import RansacResult, ransac_rigid_2d
+from repro.geometry.se2 import SE2
+
+__all__ = ["BoxAlignment", "BoxAligner"]
+
+
+@dataclass(frozen=True)
+class BoxAlignment:
+    """Stage-2 output.
+
+    Attributes:
+        correction: ``T_box`` — the residual transform refining ``T_bv``
+            (identity when refinement failed or was skipped).
+        inliers_box: corner-level RANSAC inlier count (``Inliers_box``).
+        num_matched_boxes: overlapped box pairs found.
+        num_correspondences: corner pairs fed to RANSAC (4 per box pair).
+        success: a valid correction was estimated.
+        ransac: full RANSAC diagnostics (None when no correspondences).
+        matches: the box-level matches (for analysis).
+    """
+
+    correction: SE2
+    inliers_box: int
+    num_matched_boxes: int
+    num_correspondences: int
+    success: bool
+    ransac: RansacResult | None
+    matches: list[BoxMatch]
+
+    @staticmethod
+    def skipped() -> "BoxAlignment":
+        return BoxAlignment(SE2.identity(), 0, 0, 0, False, None, [])
+
+
+class BoxAligner:
+    """Runs stage 2 of BB-Align."""
+
+    def __init__(self, config: BoxAlignConfig | None = None) -> None:
+        self.config = config or BoxAlignConfig()
+
+    def align(self, other_boxes: list[Box2D], ego_boxes: list[Box2D],
+              stage1_transform: SE2,
+              rng: np.random.Generator | int | None = None) -> BoxAlignment:
+        """Estimate the residual correction ``T_box``.
+
+        Args:
+            other_boxes: the other car's BEV boxes *in its own frame*.
+            ego_boxes: the ego car's BEV boxes in the ego frame.
+            stage1_transform: ``T_bv`` from stage 1.
+            rng: RANSAC randomness.
+
+        Returns:
+            A :class:`BoxAlignment`.  On failure the correction is the
+            identity, so callers can always compose
+            ``correction @ stage1_transform``.
+        """
+        cfg = self.config
+        if not other_boxes or not ego_boxes:
+            return BoxAlignment.skipped()
+
+        transformed = [box.transform(stage1_transform) for box in other_boxes]
+        matches = match_boxes_by_overlap(transformed, ego_boxes,
+                                         min_iou=cfg.min_overlap_iou)
+        if not matches:
+            return BoxAlignment.skipped()
+
+        src, dst = corner_correspondences(transformed, ego_boxes, matches)
+        ransac = ransac_rigid_2d(src, dst,
+                                 threshold=cfg.threshold_meters,
+                                 max_iterations=cfg.max_iterations,
+                                 min_inliers=4,
+                                 rng=rng)
+        if not ransac.success:
+            return BoxAlignment(SE2.identity(), 0, len(matches), len(src),
+                                False, ransac, matches)
+
+        correction = ransac.transform
+        drift = float(np.hypot(correction.tx, correction.ty))
+        if drift > cfg.max_correction_meters:
+            # The "correction" teleports boxes across the scene — stage 1
+            # residuals are never that large, so this is a mismatch; keep
+            # the stage-1 estimate.
+            return BoxAlignment(SE2.identity(), 0, len(matches), len(src),
+                                False, ransac, matches)
+        return BoxAlignment(correction, ransac.num_inliers, len(matches),
+                            len(src), True, ransac, matches)

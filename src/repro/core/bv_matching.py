@@ -1,0 +1,230 @@
+"""Stage 1: BV image matching (paper Section IV-A, Algorithm 1 lines 5-11).
+
+Pipeline per vehicle: lidar scan -> height-map BV image -> MIM -> FAST
+keypoints -> BVFT descriptors.  Across vehicles: descriptor matching ->
+RANSAC -> the coarse transform ``T_bv`` (other -> ego) in world
+coordinates, plus the inlier count ``Inliers_bv`` used by the success
+criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bev.mim import MIMResult, compute_mim
+from repro.bev.projection import BVImage, density_map, height_map
+from repro.core.config import BBAlignConfig
+from repro.features.descriptors import BvftDescriptorExtractor, DescriptorSet
+from repro.features.fast import Keypoints, detect_fast
+from repro.features.harris import detect_harris
+from repro.features.pc_keypoints import PcKeypointConfig, detect_pc_keypoints
+from repro.features.matching import MatchResult, match_descriptors
+from repro.geometry.ransac import RansacResult, ransac_rigid_2d
+from repro.geometry.se2 import SE2
+from repro.pointcloud.cloud import PointCloud
+
+__all__ = ["BVFeatures", "BVMatch", "BVMatcher"]
+
+
+@dataclass(frozen=True)
+class BVFeatures:
+    """Everything stage 1 extracts from one vehicle's scan."""
+
+    bv_image: BVImage
+    mim: MIMResult
+    keypoints: Keypoints
+    descriptors: DescriptorSet
+
+    def flipped(self) -> "BVFeatures":
+        """The same features under an exact 180-degree image rotation.
+
+        A 180-degree rotation permutes pixels without resampling, leaves
+        Log-Gabor amplitudes (and hence MIM values — orientations are
+        mod pi) in place, and maps a keypoint at (c, r) to
+        (H-1-c, H-1-r).  Descriptors are *not* carried over (the patch
+        content flips), so the returned object has an empty descriptor
+        set; callers re-extract.
+        """
+        image = self.bv_image
+        size = image.size
+        flipped_image = BVImage(image.image[::-1, ::-1].copy(),
+                                image.cell_size, image.lidar_range)
+        flipped_mim = MIMResult(
+            mim=self.mim.mim[::-1, ::-1].copy(),
+            max_amplitude=self.mim.max_amplitude[::-1, ::-1].copy(),
+            total_amplitude=self.mim.total_amplitude[::-1, ::-1].copy(),
+            num_orientations=self.mim.num_orientations,
+        )
+        flipped_xy = (size - 1) - self.keypoints.xy
+        flipped_kp = Keypoints(flipped_xy, self.keypoints.scores)
+        empty = DescriptorSet.empty(
+            self.descriptors.descriptors.shape[1]
+            if len(self.descriptors) else 0)
+        return BVFeatures(flipped_image, flipped_mim, flipped_kp, empty)
+
+
+@dataclass(frozen=True)
+class BVMatch:
+    """Stage-1 output.
+
+    Attributes:
+        transform: ``T_bv`` — maps points from the other car's frame into
+            the ego frame (world meters).  Identity when matching failed.
+        inliers_bv: RANSAC inlier count (the paper's ``Inliers_bv``).
+        num_matches: descriptor matches fed to RANSAC.
+        success: RANSAC found a consensus model at all (distinct from the
+            paper's success criterion, which also thresholds the count).
+        pixel_transform: the raw pixel-frame transform (diagnostics).
+        ransac: full RANSAC diagnostics.
+        matches: the descriptor match set (for plotting/analysis).
+    """
+
+    transform: SE2
+    inliers_bv: int
+    num_matches: int
+    success: bool
+    pixel_transform: SE2
+    ransac: RansacResult
+    matches: MatchResult
+    used_flip: bool = False
+
+    @staticmethod
+    def failed(matches: MatchResult, ransac: RansacResult) -> "BVMatch":
+        return BVMatch(SE2.identity(), 0, len(matches), False,
+                       SE2.identity(), ransac, matches)
+
+
+class BVMatcher:
+    """Runs stage 1 of BB-Align.
+
+    Stateless apart from configuration and cached extractors, so one
+    instance can serve a whole dataset sweep.
+    """
+
+    def __init__(self, config: BBAlignConfig | None = None) -> None:
+        self.config = config or BBAlignConfig()
+        self._extractor = BvftDescriptorExtractor(self.config.descriptor)
+
+    # ------------------------------------------------------------------
+    # Per-vehicle feature extraction
+    # ------------------------------------------------------------------
+    def make_bv_image(self, cloud: PointCloud) -> BVImage:
+        """Project a scan to a BV image (height map per Eq. 4 by default;
+        density map when configured, for the ablation)."""
+        cfg = self.config.bv_image
+        if cfg.projection == "density":
+            return density_map(cloud, cell_size=cfg.cell_size,
+                               lidar_range=cfg.lidar_range)
+        return height_map(cloud, cell_size=cfg.cell_size,
+                          lidar_range=cfg.lidar_range,
+                          min_height=cfg.min_height,
+                          max_height=cfg.max_height)
+
+    def _detect_keypoints(self, bv_image: BVImage) -> Keypoints:
+        """Run the configured keypoint detector."""
+        detector = self.config.keypoint_detector
+        if detector == "harris":
+            return detect_harris(bv_image.image)
+        if detector == "phase_congruency":
+            return detect_pc_keypoints(
+                bv_image.image,
+                PcKeypointConfig(log_gabor=self.config.log_gabor))
+        return detect_fast(bv_image.image, self.config.fast)
+
+    def extract(self, bv_image: BVImage) -> BVFeatures:
+        """Compute MIM, keypoints and descriptors for one BV image."""
+        mim = compute_mim(bv_image, self.config.log_gabor)
+        keypoints = self._detect_keypoints(bv_image)
+        descriptors = self._extractor.compute(mim, keypoints)
+        return BVFeatures(bv_image, mim, keypoints, descriptors)
+
+    def extract_from_cloud(self, cloud: PointCloud) -> BVFeatures:
+        """Convenience: projection + extraction in one call."""
+        return self.extract(self.make_bv_image(cloud))
+
+    # ------------------------------------------------------------------
+    # Cross-vehicle matching
+    # ------------------------------------------------------------------
+    def match(self, other: BVFeatures, ego: BVFeatures,
+              rng: np.random.Generator | int | None = None) -> BVMatch:
+        """Match the other car's features against the ego car's.
+
+        Args:
+            other: features from the received BV image (source).
+            ego: features from the ego car's BV image (destination).
+            rng: RANSAC randomness; defaults to the config seed.
+
+        Returns:
+            A :class:`BVMatch` whose ``transform`` maps other-frame world
+            coordinates into the ego frame.
+        """
+        cfg = self.config.bv_ransac
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(
+                self.config.random_seed if rng is None else rng)
+
+        direct = self._match_one(other, ego, rng)
+        if not cfg.disambiguate_pi:
+            return direct
+
+        # Second hypothesis: the other image rotated 180 degrees, which
+        # folds relative yaws in (90, 270) back into the descriptor's
+        # unambiguous range.  The winner is whichever consensus is larger.
+        flipped = other.flipped()
+        flipped = BVFeatures(flipped.bv_image, flipped.mim, flipped.keypoints,
+                             self._extractor.compute(flipped.mim,
+                                                     flipped.keypoints))
+        mirrored = self._match_one(flipped, ego, rng)
+        if mirrored.inliers_bv <= direct.inliers_bv:
+            return direct
+        # Compose out the flip: p_flipped = (H-1) - p = SE2(pi, H-1, H-1) p.
+        size = other.bv_image.size
+        flip = SE2(np.pi, float(size - 1), float(size - 1))
+        pixel_transform = mirrored.pixel_transform @ flip
+        world = ego.bv_image.pixel_transform_to_world(pixel_transform)
+        return BVMatch(transform=world,
+                       inliers_bv=mirrored.inliers_bv,
+                       num_matches=mirrored.num_matches,
+                       success=mirrored.success,
+                       pixel_transform=pixel_transform,
+                       ransac=mirrored.ransac,
+                       matches=mirrored.matches,
+                       used_flip=True)
+
+    def _match_one(self, other: BVFeatures, ego: BVFeatures,
+                   rng: np.random.Generator) -> BVMatch:
+        """Single-hypothesis matching (no pi disambiguation)."""
+        cfg = self.config.bv_ransac
+        matches = match_descriptors(other.descriptors, ego.descriptors,
+                                    ratio=cfg.ratio_test,
+                                    mutual=cfg.mutual_check)
+        if len(matches) < 2:
+            empty = ransac_rigid_2d(np.empty((0, 2)), np.empty((0, 2)),
+                                    threshold=cfg.threshold_pixels, rng=rng)
+            return BVMatch.failed(matches, empty)
+
+        ransac = ransac_rigid_2d(matches.src_xy, matches.dst_xy,
+                                 threshold=cfg.threshold_pixels,
+                                 max_iterations=cfg.max_iterations,
+                                 rng=rng)
+        if not ransac.success:
+            return BVMatch.failed(matches, ransac)
+
+        # Both images share one configuration, so either can convert the
+        # pixel-frame transform back to meters.
+        world = ego.bv_image.pixel_transform_to_world(ransac.transform)
+        return BVMatch(transform=world,
+                       inliers_bv=ransac.num_inliers,
+                       num_matches=len(matches),
+                       success=True,
+                       pixel_transform=ransac.transform,
+                       ransac=ransac,
+                       matches=matches)
+
+    def match_clouds(self, other_cloud: PointCloud, ego_cloud: PointCloud,
+                     rng: np.random.Generator | int | None = None) -> BVMatch:
+        """End-to-end stage 1 from raw scans."""
+        return self.match(self.extract_from_cloud(other_cloud),
+                          self.extract_from_cloud(ego_cloud), rng=rng)

@@ -1,0 +1,105 @@
+"""Confidence calibration: inlier counts → probability of accuracy.
+
+The paper uses hard inlier thresholds as a binary success signal; a
+deployed consumer (a fusion stack, the temporal tracker) wants a
+*probability* that the recovered pose is accurate.  This module fits a
+monotone binned-frequency model P(translation error < limit | inliers)
+from a labeled sweep — the natural continuous refinement of the paper's
+Fig. 9 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConfidenceModel", "fit_confidence_model"]
+
+
+@dataclass(frozen=True)
+class ConfidenceModel:
+    """A monotone step model over a combined inlier score.
+
+    The combined score is ``inliers_bv + box_weight * inliers_box``
+    (stage-2 inliers are scarcer and individually more informative).
+
+    Attributes:
+        bin_edges: ascending score edges; bin i covers
+            ``[bin_edges[i], bin_edges[i+1])``.
+        probabilities: monotone non-decreasing P(accurate) per bin.
+        box_weight: stage-2 inlier weight in the combined score.
+        error_limit: the accuracy definition (meters).
+    """
+
+    bin_edges: np.ndarray
+    probabilities: np.ndarray
+    box_weight: float
+    error_limit: float
+
+    def score(self, inliers_bv: int, inliers_box: int) -> float:
+        return float(inliers_bv + self.box_weight * inliers_box)
+
+    def predict(self, inliers_bv: int, inliers_box: int) -> float:
+        """P(translation error < error_limit) for the given counts."""
+        value = self.score(inliers_bv, inliers_box)
+        index = int(np.searchsorted(self.bin_edges, value,
+                                    side="right")) - 1
+        index = int(np.clip(index, 0, len(self.probabilities) - 1))
+        return float(self.probabilities[index])
+
+
+def fit_confidence_model(outcomes, error_limit: float = 1.0,
+                         box_weight: float = 2.0,
+                         num_bins: int = 5) -> ConfidenceModel:
+    """Fit the model from a pose-recovery sweep.
+
+    Args:
+        outcomes: :class:`repro.experiments.common.PairOutcome` list.
+        error_limit: the accuracy definition.
+        box_weight: stage-2 inlier weight.
+        num_bins: quantile bins over the combined score.
+
+    Returns:
+        A :class:`ConfidenceModel`.  Isotonicity is enforced with a pool-
+        adjacent-violators pass, so more inliers never predict less
+        confidence.
+    """
+    if num_bins < 2:
+        raise ValueError("num_bins must be >= 2")
+    attempts = [o for o in outcomes if o.inliers_bv > 0]
+    if len(attempts) < num_bins:
+        raise ValueError("not enough attempted recoveries to fit")
+    scores = np.array([o.inliers_bv + box_weight * o.inliers_box
+                       for o in attempts], dtype=float)
+    accurate = np.array([o.errors.translation < error_limit
+                         for o in attempts], dtype=float)
+
+    quantiles = np.linspace(0.0, 1.0, num_bins + 1)
+    edges = np.unique(np.quantile(scores, quantiles))
+    if len(edges) < 3:
+        edges = np.array([scores.min(), np.median(scores),
+                          scores.max() + 1.0])
+    edges[0] = -np.inf
+    edges[-1] = np.inf
+
+    probabilities = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (scores >= lo) & (scores < hi)
+        probabilities.append(float(accurate[mask].mean())
+                             if mask.any() else 0.0)
+    probabilities = np.asarray(probabilities)
+
+    # Pool adjacent violators: enforce monotone non-decreasing bins.
+    probabilities = probabilities.copy()
+    for _ in range(len(probabilities)):
+        violations = np.nonzero(np.diff(probabilities) < 0)[0]
+        if violations.size == 0:
+            break
+        i = int(violations[0])
+        pooled = (probabilities[i] + probabilities[i + 1]) / 2.0
+        probabilities[i] = probabilities[i + 1] = pooled
+    return ConfidenceModel(bin_edges=edges[:-1],
+                           probabilities=probabilities,
+                           box_weight=box_weight,
+                           error_limit=error_limit)

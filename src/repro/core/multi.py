@@ -1,0 +1,208 @@
+"""Multi-vehicle pose-graph alignment (extension).
+
+BB-Align is pairwise; with K cooperating vehicles the pairwise recoveries
+form a *pose graph* whose redundancy buys two things the paper's
+two-vehicle setting cannot have:
+
+* **relay** — if the direct recovery ego<->k fails (little overlap), k is
+  still reachable through an intermediate vehicle;
+* **consistency** — cycles in the graph measure recovery error without
+  ground truth (the loop composition should be the identity), and a
+  synchronization step distributes loop error over the edges.
+
+:class:`MultiVehicleAligner` runs all pairwise recoveries, builds the
+graph over the paper's success criterion, initializes each vehicle's pose
+by best-confidence spanning tree from the ego, and refines with a few
+Gauss-Seidel sweeps minimizing inlier-weighted edge residuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bv_matching import BVFeatures
+from repro.core.config import BBAlignConfig
+from repro.core.pipeline import BBAlign
+from repro.core.result import PoseRecoveryResult
+from repro.geometry.angles import wrap_to_pi
+from repro.geometry.se2 import SE2
+
+__all__ = ["PairwiseEdge", "MultiAlignment", "MultiVehicleAligner"]
+
+
+@dataclass(frozen=True)
+class PairwiseEdge:
+    """One successful pairwise recovery.
+
+    Attributes:
+        target / source: vehicle indices; ``transform`` maps source-frame
+            coordinates into the target frame.
+        transform: the recovered pose.
+        weight: confidence (inlier-derived), used in synchronization.
+    """
+
+    target: int
+    source: int
+    transform: SE2
+    weight: float
+
+
+@dataclass(frozen=True)
+class MultiAlignment:
+    """K-vehicle alignment result.
+
+    Attributes:
+        poses: per-vehicle pose in the ego (vehicle-0) frame; None where
+            the vehicle is unreachable through successful edges.
+        edges: the successful pairwise recoveries.
+        recoveries: every attempted pairwise result, keyed (target,
+            source), for diagnostics.
+        cycle_residuals: per-3-cycle loop errors (translation meters,
+            rotation degrees) — a ground-truth-free health metric.
+    """
+
+    poses: tuple[SE2 | None, ...]
+    edges: tuple[PairwiseEdge, ...]
+    recoveries: dict[tuple[int, int], PoseRecoveryResult]
+    cycle_residuals: tuple[tuple[float, float], ...]
+
+    @property
+    def num_resolved(self) -> int:
+        return sum(p is not None for p in self.poses)
+
+
+class MultiVehicleAligner:
+    """Pairwise BB-Align + pose-graph synchronization."""
+
+    def __init__(self, config: BBAlignConfig | None = None,
+                 refinement_sweeps: int = 5) -> None:
+        self.aligner = BBAlign(config)
+        self.refinement_sweeps = refinement_sweeps
+
+    # ------------------------------------------------------------------
+    def align(self, clouds, boxes_per_vehicle,
+              rng: np.random.Generator | int | None = None) -> MultiAlignment:
+        """Align K vehicles into the ego (index 0) frame.
+
+        Args:
+            clouds: K point clouds, each in its vehicle's own frame.
+            boxes_per_vehicle: K lists of detected boxes (own frames).
+            rng: randomness for the RANSAC stages.
+
+        Returns:
+            A :class:`MultiAlignment`.
+        """
+        k = len(clouds)
+        if len(boxes_per_vehicle) != k:
+            raise ValueError("need one box list per vehicle")
+        if k < 2:
+            raise ValueError("need at least two vehicles")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+
+        features: list[BVFeatures] = [
+            self.aligner.bv_matcher.extract_from_cloud(cloud)
+            for cloud in clouds]
+
+        recoveries: dict[tuple[int, int], PoseRecoveryResult] = {}
+        edges: list[PairwiseEdge] = []
+        for i in range(k):
+            for j in range(i + 1, k):
+                result = self.aligner.recover_from_features(
+                    features[i], features[j],
+                    boxes_per_vehicle[i], boxes_per_vehicle[j],
+                    rng=np.random.default_rng(rng.integers(0, 2 ** 31)))
+                recoveries[(i, j)] = result
+                if result.success:
+                    weight = float(result.inliers_bv + result.inliers_box)
+                    edges.append(PairwiseEdge(i, j, result.transform,
+                                              weight))
+
+        poses = self._synchronize(k, edges)
+        cycles = self._cycle_residuals(k, edges)
+        return MultiAlignment(poses=tuple(poses), edges=tuple(edges),
+                              recoveries=recoveries,
+                              cycle_residuals=tuple(cycles))
+
+    # ------------------------------------------------------------------
+    def _synchronize(self, k: int,
+                     edges: list[PairwiseEdge]) -> list[SE2 | None]:
+        """Spanning-tree init + Gauss-Seidel refinement."""
+        adjacency: dict[int, list[tuple[int, SE2, float]]] = {
+            i: [] for i in range(k)}
+        for edge in edges:
+            # target <- source and the inverse direction.
+            adjacency[edge.target].append(
+                (edge.source, edge.transform, edge.weight))
+            adjacency[edge.source].append(
+                (edge.target, edge.transform.inverse(), edge.weight))
+
+        poses: list[SE2 | None] = [None] * k
+        poses[0] = SE2.identity()
+        # Best-first (max edge weight) tree growth from the ego.
+        frontier = [(weight, 0, neighbor, transform)
+                    for neighbor, transform, weight in adjacency[0]]
+        while frontier:
+            frontier.sort(key=lambda item: -item[0])
+            weight, parent, node, transform = frontier.pop(0)
+            if poses[node] is not None:
+                continue
+            # pose_node (in ego frame) = pose_parent @ T(parent <- node)
+            poses[node] = poses[parent] @ transform
+            for neighbor, t_next, w_next in adjacency[node]:
+                if poses[neighbor] is None:
+                    frontier.append((w_next, node, neighbor, t_next))
+
+        # Gauss-Seidel sweeps: each resolved non-ego node moves toward the
+        # weighted blend of its neighbors' predictions.
+        for _ in range(self.refinement_sweeps):
+            for node in range(1, k):
+                if poses[node] is None:
+                    continue
+                predictions: list[tuple[SE2, float]] = []
+                for neighbor, transform, weight in adjacency[node]:
+                    # transform maps node-frame -> neighbor? adjacency
+                    # stores (other, T(node <- other)); invert to predict
+                    # this node from the neighbor.
+                    if poses[neighbor] is None:
+                        continue
+                    predictions.append(
+                        (poses[neighbor] @ transform.inverse(), weight))
+                if not predictions:
+                    continue
+                total = sum(w for _, w in predictions)
+                tx = sum(p.tx * w for p, w in predictions) / total
+                ty = sum(p.ty * w for p, w in predictions) / total
+                # Circular-mean the angles.
+                sin_sum = sum(np.sin(p.theta) * w for p, w in predictions)
+                cos_sum = sum(np.cos(p.theta) * w for p, w in predictions)
+                poses[node] = SE2(float(np.arctan2(sin_sum, cos_sum)),
+                                  float(tx), float(ty))
+        return poses
+
+    @staticmethod
+    def _cycle_residuals(k: int, edges: list[PairwiseEdge]):
+        """Loop errors of every 3-cycle with all edges present."""
+        by_pair = {(e.target, e.source): e.transform for e in edges}
+
+        def get(a: int, b: int) -> SE2 | None:
+            if (a, b) in by_pair:
+                return by_pair[(a, b)]
+            if (b, a) in by_pair:
+                return by_pair[(b, a)].inverse()
+            return None
+
+        residuals = []
+        for a in range(k):
+            for b in range(a + 1, k):
+                for c in range(b + 1, k):
+                    t_ab, t_bc, t_ca = get(a, b), get(b, c), get(c, a)
+                    if t_ab is None or t_bc is None or t_ca is None:
+                        continue
+                    loop = t_ab @ t_bc @ t_ca
+                    residuals.append((
+                        float(np.hypot(loop.tx, loop.ty)),
+                        float(abs(np.degrees(wrap_to_pi(loop.theta))))))
+        return residuals

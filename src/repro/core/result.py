@@ -1,0 +1,70 @@
+"""Typed results of a full BB-Align pose recovery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.box_alignment import BoxAlignment
+from repro.core.bv_matching import BVMatch
+from repro.geometry.se2 import SE2
+from repro.geometry.se3 import SE3
+
+__all__ = ["PoseRecoveryResult"]
+
+
+@dataclass(frozen=True)
+class PoseRecoveryResult:
+    """Outcome of Algorithm 1 on one frame pair.
+
+    Attributes:
+        transform: the recovered planar pose ``T_2D = T_box @ T_bv``
+            mapping other-car coordinates into the ego frame.
+        transform_3d: the 3-D lift ``T_3D`` of Eq. (1).
+        success: the paper's success criterion — both stages produced
+            enough inliers (``Inliers_bv > 25 and Inliers_box > 6`` by
+            default; only stage 1 is required when box alignment is
+            disabled for ablation).
+        stage1: stage-1 diagnostics (``T_bv``, ``Inliers_bv``...).
+        stage2: stage-2 diagnostics (``T_box``, ``Inliers_box``...).
+        message_bytes: size of the data the other car had to transmit
+            (BV image + boxes) — the paper's bandwidth argument.
+    """
+
+    transform: SE2
+    transform_3d: SE3
+    success: bool
+    stage1: BVMatch
+    stage2: BoxAlignment
+    message_bytes: int
+
+    # Convenience accessors mirroring the paper's notation -------------
+    @property
+    def alpha(self) -> float:
+        """Estimated yaw (radians)."""
+        return self.transform.theta
+
+    @property
+    def t_x(self) -> float:
+        return self.transform.tx
+
+    @property
+    def t_y(self) -> float:
+        return self.transform.ty
+
+    @property
+    def inliers_bv(self) -> int:
+        return self.stage1.inliers_bv
+
+    @property
+    def inliers_box(self) -> int:
+        return self.stage2.inliers_box
+
+    def translation_error(self, ground_truth: SE2) -> float:
+        """Euclidean error of (t_x, t_y) against the ground truth (m)."""
+        return self.transform.translation_distance(ground_truth)
+
+    def rotation_error_deg(self, ground_truth: SE2) -> float:
+        """Absolute yaw error in degrees."""
+        return float(np.degrees(self.transform.rotation_distance(ground_truth)))

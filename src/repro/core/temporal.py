@@ -1,0 +1,160 @@
+"""Temporal pose tracking across a drive sequence (extension).
+
+The paper recovers the relative pose per frame pair; a deployed V2V
+system sees a stream and can do better.  :class:`PoseTracker` fuses
+per-frame BB-Align measurements with both vehicles' odometry:
+
+* **predict** — the relative pose evolves as
+  ``T(t+1) = dEgo^-1 @ T(t) @ dOther`` where ``dEgo``/``dOther`` are the
+  vehicles' own pose increments (the other car's increment rides along in
+  the V2V message at negligible cost);
+* **update** — a successful BB-Align measurement is blended with the
+  prediction, weighted by its inlier-derived confidence, after an outlier
+  gate; failed recoveries simply coast on the prediction.
+
+This fills recovery gaps (frames where the success criterion fails) and
+suppresses single-frame outliers — the natural deployment of the paper's
+"plug-and-play" module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import PoseRecoveryResult
+from repro.geometry.angles import wrap_to_pi
+from repro.geometry.se2 import SE2
+
+__all__ = ["TrackerConfig", "TrackedPose", "PoseTracker"]
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """Tracking parameters.
+
+    Attributes:
+        gate_translation: reject measurements farther than this from the
+            prediction (meters) — unless the tracker is still cold or has
+            coasted too long.
+        gate_rotation_deg: rotation gate (degrees).
+        max_coast_frames: after this many consecutive gated/failed
+            frames, accept the next successful measurement outright
+            (re-acquisition).
+        min_blend: floor of the measurement weight in the blend.
+        max_blend: ceiling of the measurement weight.
+        confidence_inliers: inlier count at which the measurement weight
+            saturates at ``max_blend``.
+    """
+
+    gate_translation: float = 3.0
+    gate_rotation_deg: float = 10.0
+    max_coast_frames: int = 5
+    min_blend: float = 0.2
+    max_blend: float = 0.8
+    confidence_inliers: int = 40
+
+    def __post_init__(self) -> None:
+        if not (0 < self.min_blend <= self.max_blend <= 1):
+            raise ValueError("need 0 < min_blend <= max_blend <= 1")
+        if self.max_coast_frames < 1:
+            raise ValueError("max_coast_frames must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrackedPose:
+    """Tracker output for one frame.
+
+    Attributes:
+        transform: the fused relative-pose estimate.
+        used_measurement: the BB-Align measurement was accepted.
+        coasting: no measurement was available/accepted this frame.
+        frames_since_update: consecutive frames without an accepted
+            measurement.
+    """
+
+    transform: SE2
+    used_measurement: bool
+    coasting: bool
+    frames_since_update: int
+
+
+def _blend(prediction: SE2, measurement: SE2, weight: float) -> SE2:
+    """Convex blend of two planar poses (component-wise with angle wrap)."""
+    theta = prediction.theta + weight * wrap_to_pi(measurement.theta
+                                                   - prediction.theta)
+    tx = (1 - weight) * prediction.tx + weight * measurement.tx
+    ty = (1 - weight) * prediction.ty + weight * measurement.ty
+    return SE2(float(theta), float(tx), float(ty))
+
+
+class PoseTracker:
+    """Odometry-predicted, measurement-updated relative-pose filter."""
+
+    def __init__(self, config: TrackerConfig | None = None) -> None:
+        self.config = config or TrackerConfig()
+        self._estimate: SE2 | None = None
+        self._frames_since_update = 0
+
+    @property
+    def initialized(self) -> bool:
+        return self._estimate is not None
+
+    # ------------------------------------------------------------------
+    def predict(self, ego_step: SE2, other_step: SE2) -> SE2 | None:
+        """Propagate the estimate one frame using both odometries.
+
+        ``ego_step``/``other_step`` are each vehicle's pose increment in
+        its own previous frame.  Returns the predicted relative pose (or
+        None while uninitialized).
+        """
+        if self._estimate is None:
+            return None
+        self._estimate = (ego_step.inverse()
+                          @ self._estimate @ other_step)
+        return self._estimate
+
+    def update(self, recovery: PoseRecoveryResult | None) -> TrackedPose:
+        """Fuse this frame's BB-Align result (call after :meth:`predict`).
+
+        Args:
+            recovery: the frame's recovery result, or None when no
+                message arrived.
+
+        Returns:
+            The fused :class:`TrackedPose`.
+        """
+        cfg = self.config
+        measurement = (recovery.transform
+                       if recovery is not None and recovery.success
+                       else None)
+
+        if measurement is None:
+            self._frames_since_update += 1
+            return TrackedPose(
+                transform=self._estimate or SE2.identity(),
+                used_measurement=False,
+                coasting=True,
+                frames_since_update=self._frames_since_update)
+
+        if self._estimate is None \
+                or self._frames_since_update >= cfg.max_coast_frames:
+            # Cold start / re-acquisition: adopt the measurement.
+            self._estimate = measurement
+            self._frames_since_update = 0
+            return TrackedPose(measurement, True, False, 0)
+
+        gate_t = self._estimate.translation_distance(measurement)
+        gate_r = np.degrees(self._estimate.rotation_distance(measurement))
+        if gate_t > cfg.gate_translation \
+                or gate_r > cfg.gate_rotation_deg:
+            self._frames_since_update += 1
+            return TrackedPose(self._estimate, False, True,
+                               self._frames_since_update)
+
+        confidence = min(recovery.inliers_bv / cfg.confidence_inliers, 1.0)
+        weight = cfg.min_blend + (cfg.max_blend - cfg.min_blend) * confidence
+        self._estimate = _blend(self._estimate, measurement, weight)
+        self._frames_since_update = 0
+        return TrackedPose(self._estimate, True, False, 0)

@@ -1,0 +1,37 @@
+"""Object detection simulation and cooperative fusion pipelines.
+
+The paper's stage-2 boxes come from single-car 3-D detectors (coBEVT,
+F-Cooper) and its Table I evaluates cooperative fusion pipelines under
+pose error.  Neither neural model is reproducible offline, so this
+package provides:
+
+* :mod:`repro.detection.simulated` — a statistical single-car detector
+  whose recall/noise/false-positive behaviour is set by a per-model
+  profile (``COBEVT_PROFILE``, ``FCOOPER_PROFILE``).
+* :mod:`repro.detection.fusion` — early/late/intermediate cooperative
+  fusion detectors sharing a classical BEV clustering head.
+* :mod:`repro.detection.evaluation` — AP@IoU evaluation against
+  ground-truth boxes with the paper's distance binning.
+"""
+
+from repro.detection.evaluation import (
+    DetectionEvalResult,
+    evaluate_cooperative_detection,
+)
+from repro.detection.simulated import (
+    COBEVT_PROFILE,
+    FCOOPER_PROFILE,
+    Detection,
+    DetectorProfile,
+    SimulatedDetector,
+)
+
+__all__ = [
+    "COBEVT_PROFILE",
+    "Detection",
+    "DetectionEvalResult",
+    "DetectorProfile",
+    "FCOOPER_PROFILE",
+    "SimulatedDetector",
+    "evaluate_cooperative_detection",
+]

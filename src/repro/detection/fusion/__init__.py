@@ -1,0 +1,36 @@
+"""Cooperative fusion detectors (Table I).
+
+Four pipelines matching the paper's comparison set, all consuming a
+:class:`~repro.simulation.scenario.FramePair` plus the relative pose used
+for fusion (truth, corrupted, or recovered):
+
+* :class:`EarlyFusionDetector` — merge raw point clouds, detect on the
+  union (the Cooper [11] approach).
+* :class:`LateFusionDetector` — detect per vehicle, transform and
+  NMS-merge the box lists.
+* :class:`FCooperFusionDetector` — per-vehicle BEV feature grids fused by
+  element-wise max (F-Cooper's voxel maxout).
+* :class:`CoBEVTFusionDetector` — confidence-weighted (attention-style)
+  grid fusion with disagreement discounting, the coBEVT stand-in.
+
+The intermediate pipelines share :class:`repro.detection.fusion.head.ClusteringHead`.
+"""
+
+from repro.detection.fusion.cobevt import CoBEVTFusionDetector
+from repro.detection.fusion.early import EarlyFusionDetector
+from repro.detection.fusion.fcooper import FCooperFusionDetector
+from repro.detection.fusion.grid import BevFeatureGrid, build_feature_grid, warp_grid
+from repro.detection.fusion.head import ClusteringHead, HeadConfig
+from repro.detection.fusion.late import LateFusionDetector
+
+__all__ = [
+    "BevFeatureGrid",
+    "ClusteringHead",
+    "CoBEVTFusionDetector",
+    "EarlyFusionDetector",
+    "FCooperFusionDetector",
+    "HeadConfig",
+    "LateFusionDetector",
+    "build_feature_grid",
+    "warp_grid",
+]

@@ -1,0 +1,51 @@
+"""F-Cooper-style intermediate fusion: element-wise feature max-out.
+
+F-Cooper [12] fuses the two vehicles' voxel/BEV feature maps with a
+max-out operation.  Here the exchanged features are the classical pillar
+grids of :mod:`repro.detection.fusion.grid`; the other car's grid is
+warped by the believed pose and fused by per-channel maximum.  Pose error
+therefore smears each object's evidence across two locations — weaker
+degradation than early fusion's point-level corruption, matching the
+paper's ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.fusion.grid import BevFeatureGrid, build_feature_grid, warp_grid
+from repro.detection.fusion.head import ClusteringHead, HeadConfig
+from repro.detection.simulated import Detection
+from repro.geometry.se2 import SE2
+from repro.simulation.scenario import FramePair
+
+__all__ = ["FCooperFusionDetector"]
+
+
+class FCooperFusionDetector:
+    """Max-out intermediate fusion."""
+
+    name = "F-Cooper"
+
+    def __init__(self, head_config: HeadConfig | None = None,
+                 cell_size: float = 0.4, half_range: float = 76.8) -> None:
+        self.head = ClusteringHead(head_config)
+        self.cell_size = cell_size
+        self.half_range = half_range
+
+    def fuse(self, ego_grid: BevFeatureGrid,
+             other_warped: BevFeatureGrid) -> BevFeatureGrid:
+        """Per-channel element-wise maximum (the F-Cooper max-out)."""
+        fused = np.maximum(ego_grid.features, other_warped.features)
+        return BevFeatureGrid(fused, ego_grid.cell_size, ego_grid.half_range)
+
+    def detect(self, pair: FramePair, relative_pose: SE2,
+               rng: np.random.Generator | int | None = None) -> list[Detection]:
+        """Build per-car grids, warp the other's by the believed pose,
+        fuse, and run the shared head."""
+        ego_grid = build_feature_grid(pair.ego_cloud, self.cell_size,
+                                      self.half_range)
+        other_grid = build_feature_grid(pair.other_cloud, self.cell_size,
+                                        self.half_range)
+        warped = warp_grid(other_grid, relative_pose)
+        return self.head.detect(self.fuse(ego_grid, warped))

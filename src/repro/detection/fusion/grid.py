@@ -1,0 +1,116 @@
+"""BEV feature grids — the "intermediate features" of fusion methods.
+
+Real intermediate-fusion systems (F-Cooper, coBEVT) exchange neural BEV
+feature maps.  The classical stand-in is a grid of hand-crafted pillar
+features per cell:
+
+* channel 0 — maximum height inside the car band (0.2-2.5 m),
+* channel 1 — log point count inside the car band,
+* channel 2 — maximum height overall (tall-structure indicator, used to
+  veto building cells in the head),
+* channel 3 — log count of *all* returns (ground included): cells with
+  many returns but no car-band evidence are *observed free space*, the
+  signal attention-style fusion uses to discount misplaced evidence.
+
+What Table I measures — how pose error at the fusion boundary corrupts
+the combined representation — acts on these grids exactly as on neural
+ones: the other vehicle's grid is *warped* by the believed relative pose
+before fusing, so a wrong pose misplaces its evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.se2 import SE2
+from repro.pointcloud.cloud import PointCloud
+
+__all__ = ["BevFeatureGrid", "build_feature_grid", "warp_grid",
+           "CAR_BAND"]
+
+# Height band occupied by vehicles (above ground clutter, below crowns).
+CAR_BAND = (0.2, 2.5)
+
+
+@dataclass(frozen=True)
+class BevFeatureGrid:
+    """A multi-channel BEV grid.
+
+    Attributes:
+        features: (C, H, H) float array.
+        cell_size: cell edge in meters.
+        half_range: grid covers [-half_range, half_range]^2.
+    """
+
+    features: np.ndarray
+    cell_size: float
+    half_range: float
+
+    @property
+    def size(self) -> int:
+        return self.features.shape[1]
+
+    def cell_centers(self) -> np.ndarray:
+        """(H, H, 2) world coordinates of cell centers."""
+        coords = (np.arange(self.size) + 0.5) * self.cell_size - self.half_range
+        xs, ys = np.meshgrid(coords, coords)
+        return np.stack([xs, ys], axis=-1)
+
+
+def build_feature_grid(cloud: PointCloud, cell_size: float = 0.8,
+                       half_range: float = 76.8) -> BevFeatureGrid:
+    """Pillar-feature grid from one scan (sensor frame)."""
+    if cell_size <= 0 or half_range <= 0:
+        raise ValueError("cell_size and half_range must be positive")
+    size = int(round(2.0 * half_range / cell_size))
+    features = np.zeros((4, size, size))
+    if len(cloud) == 0:
+        return BevFeatureGrid(features, cell_size, half_range)
+
+    xy = cloud.xy
+    z = cloud.z
+    in_range = ((xy[:, 0] >= -half_range) & (xy[:, 0] < half_range)
+                & (xy[:, 1] >= -half_range) & (xy[:, 1] < half_range))
+    xy, z = xy[in_range], z[in_range]
+    cols = np.clip(((xy[:, 0] + half_range) / cell_size).astype(np.int64),
+                   0, size - 1)
+    rows = np.clip(((xy[:, 1] + half_range) / cell_size).astype(np.int64),
+                   0, size - 1)
+    flat = rows * size + cols
+
+    in_band = (z >= CAR_BAND[0]) & (z <= CAR_BAND[1])
+    np.maximum.at(features[0].reshape(-1), flat[in_band], z[in_band])
+    counts = np.zeros(size * size)
+    np.add.at(counts, flat[in_band], 1.0)
+    features[1] = np.log1p(counts).reshape(size, size)
+    np.maximum.at(features[2].reshape(-1), flat, z)
+    all_counts = np.zeros(size * size)
+    np.add.at(all_counts, flat, 1.0)
+    features[3] = np.log1p(all_counts).reshape(size, size)
+    return BevFeatureGrid(features, cell_size, half_range)
+
+
+def warp_grid(grid: BevFeatureGrid, transform: SE2) -> BevFeatureGrid:
+    """Resample a grid into a frame related by ``transform``.
+
+    The output cell at world position p takes the input cell at
+    ``transform^-1 p`` (nearest neighbor; out-of-range cells become 0) —
+    i.e. the returned grid shows the input data as seen from the frame
+    ``transform`` maps *into*.
+    """
+    inverse = transform.inverse()
+    centers = grid.cell_centers().reshape(-1, 2)
+    source = inverse.apply(centers)
+    size = grid.size
+    cols = np.floor((source[:, 0] + grid.half_range)
+                    / grid.cell_size).astype(np.int64)
+    rows = np.floor((source[:, 1] + grid.half_range)
+                    / grid.cell_size).astype(np.int64)
+    valid = (cols >= 0) & (cols < size) & (rows >= 0) & (rows < size)
+    warped = np.zeros_like(grid.features)
+    out_rows, out_cols = np.divmod(np.arange(size * size), size)
+    warped[:, out_rows[valid], out_cols[valid]] = \
+        grid.features[:, rows[valid], cols[valid]]
+    return BevFeatureGrid(warped, grid.cell_size, grid.half_range)

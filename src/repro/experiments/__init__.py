@@ -1,0 +1,25 @@
+"""Reproductions of every figure and table in the paper's evaluation.
+
+Each module exposes ``run_*`` functions returning structured results and
+``format_*`` helpers printing the same rows/series the paper reports.
+All experiments accept ``num_pairs`` so the same code scales from quick
+benchmark runs to paper-scale sweeps.
+
+| Paper artifact | Module |
+|----------------|--------|
+| Fig. 7 (CDF vs VIPS)            | :mod:`repro.experiments.fig7_comparison` |
+| Fig. 8 (common cars, both)      | :mod:`repro.experiments.fig8_common_cars` |
+| Fig. 9 (inlier confidence)      | :mod:`repro.experiments.fig9_inliers` |
+| Success rate (Sec. V-A)         | :mod:`repro.experiments.success_rate` |
+| Fig. 10 (distance)              | :mod:`repro.experiments.fig10_distance` |
+| Fig. 11 (stage 1 vs distance)   | :mod:`repro.experiments.fig11_bv_distance` |
+| Fig. 12 (stage 2 vs commons)    | :mod:`repro.experiments.fig12_box_common_cars` |
+| Fig. 13 (detector model)        | :mod:`repro.experiments.fig13_detector_model` |
+| Table I (detection AP)          | :mod:`repro.experiments.table1_detection` |
+| Fig. 14 (ablation)              | :mod:`repro.experiments.fig14_ablation` |
+| Bandwidth claim (Sec. III)      | :mod:`repro.experiments.bandwidth` |
+"""
+
+from repro.experiments.common import PairOutcome, run_pose_recovery_sweep
+
+__all__ = ["PairOutcome", "run_pose_recovery_sweep"]

@@ -1,0 +1,132 @@
+"""Ablation studies of BB-Align's design choices (beyond the paper).
+
+The paper ablates only the second stage (Fig. 14).  DESIGN.md calls out
+several further design choices this implementation makes or inherits;
+each variant here switches exactly one of them off (or to its documented
+alternative) and reruns the pose-recovery sweep:
+
+* ``height map -> density map`` — the paper's Sec. IV-A argument for
+  height-map BV images.
+* ``rotation invariance off`` — the BVFT dominant-orientation
+  normalization (paper: "MIM ... does not inherently offer rotation
+  invariance").
+* ``pi disambiguation off`` — the 180-degree second hypothesis required
+  by MIM's mod-pi orientations.
+* ``height clamp off`` — the viewpoint-independence clamp.
+* ``fine cells (0.4 m)`` — cell-size sensitivity.
+* ``Harris keypoints`` / ``PC keypoints`` — the keypoint-detector choice
+  (the paper picked FAST; Harris is the classic intensity alternative,
+  PC minimum-moment corners are RIFT's own detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.config import (
+    BBAlignConfig,
+    BVImageConfig,
+    BVMatchRansacConfig,
+)
+from repro.experiments.common import (
+    PairOutcome,
+    default_dataset,
+    run_pose_recovery_sweep,
+)
+from repro.features.descriptors import BvftConfig
+
+__all__ = ["AblationRow", "AblationResult", "run_ablations",
+           "format_ablations", "ablation_variants"]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One variant's aggregate results.
+
+    Attributes:
+        name: variant label.
+        success_rate: fraction of pairs meeting the success criterion.
+        median_translation: median translation error of successes (m).
+        median_rotation_deg: median rotation error of successes (deg).
+        fraction_under_1m: successes under 1 m, over *all* pairs.
+    """
+
+    name: str
+    success_rate: float
+    median_translation: float
+    median_rotation_deg: float
+    fraction_under_1m: float
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    rows: list[AblationRow]
+    num_pairs: int
+
+
+def ablation_variants() -> dict[str, BBAlignConfig]:
+    """The variant configurations, first entry = full system."""
+    base = BBAlignConfig()
+    return {
+        "full system": base,
+        "density-map BV": replace(
+            base, bv_image=replace(base.bv_image, projection="density")),
+        "no rotation invariance": replace(
+            base, descriptor=BvftConfig(
+                patch_size=base.descriptor.patch_size,
+                grid_size=base.descriptor.grid_size,
+                rotation_invariant=False)),
+        "no pi disambiguation": replace(
+            base, bv_ransac=replace(base.bv_ransac,
+                                    disambiguate_pi=False)),
+        "no height clamp": replace(
+            base, bv_image=replace(base.bv_image, max_height=None)),
+        "fine cells (0.4 m)": replace(
+            base, bv_image=replace(base.bv_image, cell_size=0.4)),
+        "Harris keypoints": replace(base, keypoint_detector="harris"),
+        "PC keypoints": replace(base,
+                                keypoint_detector="phase_congruency"),
+    }
+
+
+def _summarize(name: str, outcomes: list[PairOutcome]) -> AblationRow:
+    successes = [o for o in outcomes if o.success]
+    n = max(len(outcomes), 1)
+    translations = [o.errors.translation for o in successes]
+    rotations = [o.errors.rotation_deg for o in successes]
+    return AblationRow(
+        name=name,
+        success_rate=len(successes) / n,
+        median_translation=(float(np.median(translations))
+                            if translations else float("nan")),
+        median_rotation_deg=(float(np.median(rotations))
+                             if rotations else float("nan")),
+        fraction_under_1m=sum(t < 1.0 for t in translations) / n,
+    )
+
+
+def run_ablations(num_pairs: int = 24, seed: int = 2024) -> AblationResult:
+    """Run every variant over the same dataset."""
+    dataset = default_dataset(num_pairs, seed)
+    rows = []
+    for name, config in ablation_variants().items():
+        outcomes = run_pose_recovery_sweep(dataset, config=config,
+                                           include_vips=False)
+        rows.append(_summarize(name, outcomes))
+    return AblationResult(rows=rows, num_pairs=num_pairs)
+
+
+def format_ablations(result: AblationResult) -> str:
+    lines = [f"Design ablations ({result.num_pairs} pairs)",
+             f"{'variant':>24} | {'success':>7} | {'med terr':>8} | "
+             f"{'med rerr':>8} | {'<1m (all)':>9}"]
+    lines.append("-" * 70)
+    for row in result.rows:
+        lines.append(
+            f"{row.name:>24} | {row.success_rate * 100:6.1f}% | "
+            f"{row.median_translation:6.2f} m | "
+            f"{row.median_rotation_deg:6.2f}d | "
+            f"{row.fraction_under_1m * 100:7.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Shared experiment machinery: the per-pair pose-recovery sweep.
+
+Most of the paper's figures are views over the same underlying sweep:
+run BB-Align (and the VIPS baseline) on every dataset pair, record
+errors, inlier counts and metadata, then bucket/summarize.  This module
+runs that sweep once and hands the figure modules plain records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.vips import VipsConfig, vips_graph_matching
+from repro.core.config import BBAlignConfig
+from repro.core.pipeline import BBAlign
+from repro.detection.simulated import (
+    COBEVT_PROFILE,
+    Detection,
+    DetectorProfile,
+    SimulatedDetector,
+)
+from repro.metrics.pose_error import PoseErrors, pose_errors
+from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
+from repro.simulation.scenario import FramePair
+
+__all__ = ["PairOutcome", "run_pose_recovery_sweep", "default_dataset",
+           "detect_for_pair"]
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """Everything the figure modules need about one evaluated pair.
+
+    Attributes:
+        index: dataset index.
+        distance: inter-vehicle distance (meters).
+        num_common: commonly observed vehicles (ground-truth count).
+        scenario_kind: world flavor string.
+        success: BB-Align's success criterion verdict.
+        errors: full-pipeline pose errors.
+        stage1_errors: errors of the stage-1 estimate alone (the
+            ablation / Fig. 11 view).
+        inliers_bv / inliers_box: the two confidence counts.
+        num_matches: stage-1 descriptor matches.
+        num_matched_boxes: stage-2 overlapped box pairs.
+        message_bytes: BB-Align transmission cost for this pair.
+        raw_cloud_bytes: cost of shipping the raw other-car scan instead.
+        vips_success: the graph-matching baseline found a pose.
+        vips_errors: baseline errors (None when it failed).
+    """
+
+    index: int
+    distance: float
+    num_common: int
+    scenario_kind: str
+    success: bool
+    errors: PoseErrors
+    stage1_errors: PoseErrors
+    inliers_bv: int
+    inliers_box: int
+    num_matches: int
+    num_matched_boxes: int
+    message_bytes: int
+    raw_cloud_bytes: int
+    vips_success: bool
+    vips_errors: PoseErrors | None
+
+
+def default_dataset(num_pairs: int, seed: int = 2024) -> V2VDatasetSim:
+    """The standard evaluation dataset used across figure modules."""
+    return V2VDatasetSim(DatasetConfig(num_pairs=num_pairs, seed=seed))
+
+
+def detect_for_pair(pair: FramePair, detector: SimulatedDetector,
+                    seed: int) -> tuple[list[Detection], list[Detection]]:
+    """Run the simulated detector on both vehicles of a pair."""
+    ego = detector.detect(pair.ego_visible,
+                          np.random.default_rng([seed, 0]))
+    other = detector.detect(pair.other_visible,
+                            np.random.default_rng([seed, 1]))
+    return ego, other
+
+
+def run_pose_recovery_sweep(
+        dataset: V2VDatasetSim,
+        config: BBAlignConfig | None = None,
+        detector_profile: DetectorProfile = COBEVT_PROFILE,
+        include_vips: bool = True,
+        vips_config: VipsConfig | None = None,
+        seed: int = 7) -> list[PairOutcome]:
+    """Evaluate BB-Align (and optionally VIPS) over a whole dataset.
+
+    Args:
+        dataset: the frame-pair dataset.
+        config: BB-Align configuration (defaults).
+        detector_profile: single-car detector model feeding stage 2 (and
+            the VIPS object graphs).
+        include_vips: also run the graph-matching baseline.
+        vips_config: baseline parameters.
+        seed: base randomness for detector draws and RANSAC.
+
+    Returns:
+        One :class:`PairOutcome` per dataset pair.
+    """
+    aligner = BBAlign(config)
+    detector = SimulatedDetector(detector_profile)
+    outcomes: list[PairOutcome] = []
+
+    for record in dataset:
+        pair = record.pair
+        ego_dets, other_dets = detect_for_pair(pair, detector,
+                                               seed + record.index)
+        result = aligner.recover(
+            pair.ego_cloud, pair.other_cloud,
+            [d.box for d in ego_dets], [d.box for d in other_dets],
+            rng=np.random.default_rng([seed, record.index, 2]))
+
+        gt = pair.gt_relative
+        full_errors = pose_errors(result.transform, gt)
+        stage1_errors = pose_errors(result.stage1.transform, gt)
+
+        vips_success = False
+        vips_err: PoseErrors | None = None
+        if include_vips:
+            other_centers = np.array([[d.box.center_x, d.box.center_y]
+                                      for d in other_dets]).reshape(-1, 2)
+            ego_centers = np.array([[d.box.center_x, d.box.center_y]
+                                    for d in ego_dets]).reshape(-1, 2)
+            vips = vips_graph_matching(other_centers, ego_centers,
+                                       vips_config)
+            vips_success = vips.success
+            if vips.success:
+                vips_err = pose_errors(vips.transform, gt)
+
+        outcomes.append(PairOutcome(
+            index=record.index,
+            distance=pair.distance,
+            num_common=pair.num_common_vehicles,
+            scenario_kind=str(pair.scenario_kind.value),
+            success=result.success,
+            errors=full_errors,
+            stage1_errors=stage1_errors,
+            inliers_bv=result.inliers_bv,
+            inliers_box=result.inliers_box,
+            num_matches=result.stage1.num_matches,
+            num_matched_boxes=result.stage2.num_matched_boxes,
+            message_bytes=result.message_bytes,
+            raw_cloud_bytes=BBAlign.raw_cloud_bytes(pair.other_cloud),
+            vips_success=vips_success,
+            vips_errors=vips_err,
+        ))
+    return outcomes

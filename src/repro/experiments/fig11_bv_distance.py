@@ -1,0 +1,66 @@
+"""Fig. 11 — accuracy of BV image matching *alone* vs distance.
+
+Paper result: stage-1 accuracy decays with distance, and even at < 20 m
+it does not beat the full two-stage pipeline's overall [0, 70) numbers —
+the observation motivating the second stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.metrics.aggregation import Cdf
+
+__all__ = ["Fig11Result", "run_fig11", "format_fig11", "FINE_DISTANCE_EDGES"]
+
+FINE_DISTANCE_EDGES: tuple[float, ...] = (0.0, 20.0, 40.0, 60.0, 100.0)
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """Stage-1-only error CDFs per fine distance bin."""
+
+    translation: dict[str, Cdf]
+    rotation: dict[str, Cdf]
+    num_pairs: int
+
+
+def compute_fig11(outcomes: list[PairOutcome],
+                  edges=FINE_DISTANCE_EDGES) -> Fig11Result:
+    translation: dict[str, Cdf] = {}
+    rotation: dict[str, Cdf] = {}
+    # Stage-1-only view: condition on the stage-1 confidence criterion
+    # alone (the ablation-mode success rule).
+    attempts = [o for o in outcomes if o.inliers_bv > 12]
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        label = f"[{lo:g},{hi:g}) m"
+        members = [o for o in attempts if lo <= o.distance < hi]
+        translation[label] = Cdf.from_samples(
+            [o.stage1_errors.translation for o in members])
+        rotation[label] = Cdf.from_samples(
+            [o.stage1_errors.rotation_deg for o in members])
+    return Fig11Result(translation, rotation, len(outcomes))
+
+
+def run_fig11(num_pairs: int = 60, seed: int = 2024) -> Fig11Result:
+    dataset = default_dataset(num_pairs, seed)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=False)
+    return compute_fig11(outcomes)
+
+
+def format_fig11(result: Fig11Result) -> str:
+    lines = [f"Fig. 11 — BV image matching alone vs distance "
+             f"({result.num_pairs} pairs)"]
+    for label in result.translation:
+        t = result.translation[label]
+        r = result.rotation[label]
+        n = t.values.size
+        med = t.value_at(0.5) if n else float("nan")
+        lines.append(
+            f"  {label:>12} (n={n:3d}): median terr={med:5.2f} m  "
+            f"P(terr<1m)={t.fraction_below(1.0) * 100 if n else float('nan'):5.1f} %  "
+            f"P(rerr<1deg)={r.fraction_below(1.0) * 100 if n else float('nan'):5.1f} %")
+    lines.append("  (paper: shorter distance = higher accuracy; even the "
+                 "best bin does not beat the full pipeline)")
+    return "\n".join(lines)

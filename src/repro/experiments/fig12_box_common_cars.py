@@ -1,0 +1,70 @@
+"""Fig. 12 — box-alignment accuracy vs number of commonly observed cars.
+
+Paper result: more common cars = more corner correspondences = better
+accuracy; below 3 cars accuracy deteriorates but ~50 % of cases stay
+under 1 m; with > 10 cars, > 90 % of cases are under 0.3 m and 0.8 deg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.metrics.aggregation import Cdf
+
+__all__ = ["Fig12Result", "run_fig12", "format_fig12"]
+
+BUCKETS: tuple[tuple[int, int], ...] = ((0, 3), (3, 6), (6, 11), (11, 1000))
+
+
+def _label(lo: int, hi: int) -> str:
+    return f"{lo}-{hi - 1}" if hi < 1000 else f"{lo}+"
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """Full-pipeline error CDFs per common-car bucket (successes)."""
+
+    translation: dict[str, Cdf]
+    rotation: dict[str, Cdf]
+    bucket_counts: dict[str, int]
+    num_pairs: int
+
+
+def compute_fig12(outcomes: list[PairOutcome]) -> Fig12Result:
+    translation: dict[str, Cdf] = {}
+    rotation: dict[str, Cdf] = {}
+    counts: dict[str, int] = {}
+    successes = [o for o in outcomes if o.success]
+    for lo, hi in BUCKETS:
+        label = _label(lo, hi)
+        members = [o for o in successes if lo <= o.num_common < hi]
+        counts[label] = len(members)
+        translation[label] = Cdf.from_samples(
+            [o.errors.translation for o in members])
+        rotation[label] = Cdf.from_samples(
+            [o.errors.rotation_deg for o in members])
+    return Fig12Result(translation, rotation, counts, len(outcomes))
+
+
+def run_fig12(num_pairs: int = 60, seed: int = 2024) -> Fig12Result:
+    dataset = default_dataset(num_pairs, seed)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=False)
+    return compute_fig12(outcomes)
+
+
+def format_fig12(result: Fig12Result) -> str:
+    lines = [f"Fig. 12 — box alignment accuracy vs common cars "
+             f"({result.num_pairs} pairs)"]
+    for label in result.translation:
+        t = result.translation[label]
+        r = result.rotation[label]
+        n = result.bucket_counts[label]
+        lines.append(
+            f"  {label:>4} cars (n={n:3d}): "
+            f"P(terr<1m)={t.fraction_below(1.0) * 100 if n else float('nan'):5.1f} %  "
+            f"P(terr<0.3m)={t.fraction_below(0.3) * 100 if n else float('nan'):5.1f} %  "
+            f"P(rerr<0.8deg)={r.fraction_below(0.8) * 100 if n else float('nan'):5.1f} %")
+    lines.append("  (paper: accuracy rises with common cars; 10+ cars give "
+                 ">90 % under 0.3 m / 0.8 deg)")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Fig. 13 — impact of the object detection model on recovery accuracy.
+
+Paper result: swapping coBEVT for F-Cooper as the stage-2 box source has
+only a minor effect — BB-Align is largely detector-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.simulated import COBEVT_PROFILE, FCOOPER_PROFILE
+from repro.experiments.common import default_dataset, run_pose_recovery_sweep
+from repro.metrics.aggregation import Cdf
+
+__all__ = ["Fig13Result", "run_fig13", "format_fig13"]
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """Error CDFs per detector profile (successful recoveries)."""
+
+    translation: dict[str, Cdf]
+    rotation: dict[str, Cdf]
+    success_rate: dict[str, float]
+    num_pairs: int
+
+
+def run_fig13(num_pairs: int = 50, seed: int = 2024) -> Fig13Result:
+    dataset = default_dataset(num_pairs, seed)
+    translation: dict[str, Cdf] = {}
+    rotation: dict[str, Cdf] = {}
+    success_rate: dict[str, float] = {}
+    for profile in (COBEVT_PROFILE, FCOOPER_PROFILE):
+        outcomes = run_pose_recovery_sweep(dataset, include_vips=False,
+                                           detector_profile=profile)
+        successes = [o for o in outcomes if o.success]
+        translation[profile.name] = Cdf.from_samples(
+            [o.errors.translation for o in successes])
+        rotation[profile.name] = Cdf.from_samples(
+            [o.errors.rotation_deg for o in successes])
+        success_rate[profile.name] = (len(successes) / max(len(outcomes), 1))
+    return Fig13Result(translation, rotation, success_rate, num_pairs)
+
+
+def format_fig13(result: Fig13Result) -> str:
+    lines = [f"Fig. 13 — detector-model impact ({result.num_pairs} pairs)"]
+    for name in result.translation:
+        t = result.translation[name]
+        r = result.rotation[name]
+        n = t.values.size
+        lines.append(
+            f"  {name:>9} (success {result.success_rate[name] * 100:5.1f} %, "
+            f"n={n:3d}): P(terr<1m)="
+            f"{t.fraction_below(1.0) * 100 if n else float('nan'):5.1f} %  "
+            f"P(rerr<1deg)={r.fraction_below(1.0) * 100 if n else float('nan'):5.1f} %")
+    lines.append("  (paper: model choice plays a minor role)")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Fig. 7 — pose recovery accuracy: BB-Align vs graph matching (VIPS).
+
+Paper result: BB-Align's translation-error CDF dominates VIPS's
+(~60 % vs ~30 % of estimations under 1 m); rotation error is comparable.
+Both methods are evaluated over every attempted pair (failures count as
+not-under-threshold), matching the paper's presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.experiments.reporting import format_cdf_series
+from repro.metrics.aggregation import Cdf
+
+__all__ = ["Fig7Result", "run_fig7", "format_fig7"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """CDFs of both methods (successful recoveries only, as plotted)."""
+
+    bb_translation: Cdf
+    bb_rotation: Cdf
+    vips_translation: Cdf
+    vips_rotation: Cdf
+    bb_fraction_under_1m: float
+    vips_fraction_under_1m: float
+    num_pairs: int
+
+
+def compute_fig7(outcomes: list[PairOutcome]) -> Fig7Result:
+    """Aggregate a sweep into the Fig. 7 series."""
+    bb_t = [o.errors.translation for o in outcomes if o.success]
+    bb_r = [o.errors.rotation_deg for o in outcomes if o.success]
+    vips_t = [o.vips_errors.translation for o in outcomes if o.vips_errors]
+    vips_r = [o.vips_errors.rotation_deg for o in outcomes if o.vips_errors]
+    n = max(len(outcomes), 1)
+    return Fig7Result(
+        bb_translation=Cdf.from_samples(bb_t),
+        bb_rotation=Cdf.from_samples(bb_r),
+        vips_translation=Cdf.from_samples(vips_t),
+        vips_rotation=Cdf.from_samples(vips_r),
+        bb_fraction_under_1m=float(np.sum(np.asarray(bb_t) < 1.0) / n),
+        vips_fraction_under_1m=float(np.sum(np.asarray(vips_t) < 1.0) / n),
+        num_pairs=len(outcomes),
+    )
+
+
+def run_fig7(num_pairs: int = 60, seed: int = 2024) -> Fig7Result:
+    """Run the Fig. 7 experiment end to end."""
+    dataset = default_dataset(num_pairs, seed)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=True)
+    return compute_fig7(outcomes)
+
+
+def format_fig7(result: Fig7Result) -> str:
+    """Paper-style summary text."""
+    lines = [
+        f"Fig. 7 — BB-Align vs VIPS over {result.num_pairs} pairs",
+        f"  estimations with translation error < 1 m: "
+        f"BB-Align {result.bb_fraction_under_1m * 100:.0f} %  vs  "
+        f"VIPS {result.vips_fraction_under_1m * 100:.0f} %"
+        "  (paper: ~60 % vs ~30 %)",
+        format_cdf_series("  BB-Align translation CDF (m)",
+                          result.bb_translation),
+        format_cdf_series("  VIPS translation CDF (m)",
+                          result.vips_translation),
+        format_cdf_series("  BB-Align rotation CDF (deg)",
+                          result.bb_rotation),
+        format_cdf_series("  VIPS rotation CDF (deg)", result.vips_rotation),
+    ]
+    return "\n".join(lines)

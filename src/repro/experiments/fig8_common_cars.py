@@ -1,0 +1,69 @@
+"""Fig. 8 — translation error vs number of commonly observed cars.
+
+Paper result: VIPS depends critically on dense traffic (errors explode
+below ~3 common cars and shrink as traffic grows), while BB-Align stays
+accurate across traffic densities and remains better overall.  Box plots
+show the 10/25/50/75/90 percentiles per common-car bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.experiments.reporting import format_percentile_table
+from repro.metrics.aggregation import percentile_summary
+
+__all__ = ["Fig8Result", "run_fig8", "format_fig8", "COMMON_CAR_BUCKETS"]
+
+# Bucket edges over common-car counts; the last bucket is open-ended.
+COMMON_CAR_BUCKETS: tuple[tuple[int, int], ...] = (
+    (0, 2), (2, 4), (4, 7), (7, 100))
+
+
+def _bucket_label(lo: int, hi: int) -> str:
+    return f"{lo}-{hi - 1}" if hi < 100 else f"{lo}+"
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Per-bucket translation-error percentiles for both methods."""
+
+    bb_percentiles: dict[str, dict[int, float]]
+    vips_percentiles: dict[str, dict[int, float]]
+    bucket_counts: dict[str, int]
+    num_pairs: int
+
+
+def compute_fig8(outcomes: list[PairOutcome]) -> Fig8Result:
+    bb: dict[str, dict[int, float]] = {}
+    vips: dict[str, dict[int, float]] = {}
+    counts: dict[str, int] = {}
+    for lo, hi in COMMON_CAR_BUCKETS:
+        label = _bucket_label(lo, hi)
+        members = [o for o in outcomes if lo <= o.num_common < hi]
+        counts[label] = len(members)
+        bb[label] = percentile_summary(
+            [o.errors.translation for o in members if o.success])
+        vips[label] = percentile_summary(
+            [o.vips_errors.translation for o in members if o.vips_errors])
+    return Fig8Result(bb, vips, counts, len(outcomes))
+
+
+def run_fig8(num_pairs: int = 60, seed: int = 2024) -> Fig8Result:
+    dataset = default_dataset(num_pairs, seed)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=True)
+    return compute_fig8(outcomes)
+
+
+def format_fig8(result: Fig8Result) -> str:
+    lines = [
+        f"Fig. 8 — translation error (m) vs commonly observed cars "
+        f"({result.num_pairs} pairs; bucket sizes {result.bucket_counts})",
+        format_percentile_table(result.bb_percentiles, "  BB-Align:"),
+        format_percentile_table(result.vips_percentiles,
+                                "  VIPS graph matching:"),
+        "  (paper: VIPS collapses below ~3 common cars; BB-Align stays "
+        "accurate)",
+    ]
+    return "\n".join(lines)

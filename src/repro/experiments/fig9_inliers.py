@@ -1,0 +1,116 @@
+"""Fig. 9 — accuracy vs RANSAC inlier counts (the confidence signal).
+
+Paper result: accuracy improves monotonically with both inlier counts;
+above the high-confidence knee, > 90 % of cases are under 1 m / 1 deg.
+This analysis is what the paper (and this reproduction, re-calibrated)
+derives the success thresholds from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.metrics.aggregation import Cdf
+
+__all__ = ["Fig9Result", "run_fig9", "format_fig9", "derive_success_thresholds",
+           "BV_INLIER_BUCKETS", "BOX_INLIER_BUCKETS"]
+
+BV_INLIER_BUCKETS: tuple[tuple[int, int], ...] = (
+    (0, 13), (13, 25), (25, 50), (50, 10_000))
+BOX_INLIER_BUCKETS: tuple[tuple[int, int], ...] = (
+    (0, 7), (7, 12), (12, 20), (20, 10_000))
+
+
+def _label(lo: int, hi: int) -> str:
+    return f"[{lo},{hi})" if hi < 10_000 else f">={lo}"
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Per-inlier-bucket error CDFs for both stages' counts."""
+
+    by_bv_inliers: dict[str, tuple[Cdf, Cdf]]     # (translation, rotation)
+    by_box_inliers: dict[str, tuple[Cdf, Cdf]]
+    num_pairs: int
+
+
+def compute_fig9(outcomes: list[PairOutcome]) -> Fig9Result:
+    # Only stage-1-successful attempts carry meaningful counts.
+    attempts = [o for o in outcomes if o.inliers_bv > 0]
+
+    def bucketize(buckets, key):
+        result = {}
+        for lo, hi in buckets:
+            members = [o for o in attempts if lo <= key(o) < hi]
+            result[_label(lo, hi)] = (
+                Cdf.from_samples([o.errors.translation for o in members]),
+                Cdf.from_samples([o.errors.rotation_deg for o in members]),
+            )
+        return result
+
+    return Fig9Result(
+        by_bv_inliers=bucketize(BV_INLIER_BUCKETS, lambda o: o.inliers_bv),
+        by_box_inliers=bucketize(BOX_INLIER_BUCKETS, lambda o: o.inliers_box),
+        num_pairs=len(outcomes),
+    )
+
+
+def run_fig9(num_pairs: int = 60, seed: int = 2024) -> Fig9Result:
+    dataset = default_dataset(num_pairs, seed)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=False)
+    return compute_fig9(outcomes)
+
+
+def format_fig9(result: Fig9Result) -> str:
+    lines = [f"Fig. 9 — accuracy vs inlier counts ({result.num_pairs} pairs)"]
+    for title, table in [("Inliers_bv buckets", result.by_bv_inliers),
+                         ("Inliers_box buckets", result.by_box_inliers)]:
+        lines.append(f"  {title}:")
+        for label, (t_cdf, r_cdf) in table.items():
+            n = t_cdf.values.size
+            t1 = t_cdf.fraction_below(1.0) * 100 if n else float("nan")
+            r1 = r_cdf.fraction_below(1.0) * 100 if n else float("nan")
+            lines.append(f"    {label:>9} (n={n:3d}): "
+                         f"P(terr<1m)={t1:5.1f} %  P(rerr<1deg)={r1:5.1f} %")
+    lines.append("  (paper: both accuracies rise monotonically with inliers;"
+                 " high-inlier buckets exceed 90 %)")
+    return "\n".join(lines)
+
+
+def derive_success_thresholds(outcomes: list[PairOutcome],
+                              target_accuracy: float = 0.9,
+                              error_limit: float = 1.0) -> tuple[int, int]:
+    """Re-run the paper's empirical threshold derivation.
+
+    The paper picks ``Inliers_bv > 25`` and ``Inliers_box > 6`` as the
+    smallest thresholds for which the conditional accuracy (fraction of
+    above-threshold cases under ``error_limit``) exceeds
+    ``target_accuracy``.  Running the same rule on a simulated sweep is
+    how this repository's defaults were calibrated.
+
+    Returns:
+        ``(min_inliers_bv, min_inliers_box)`` — strict lower bounds in the
+        ``is_success`` sense.  Falls back to the maximum observed count
+        when no threshold reaches the target.
+    """
+    if not (0 < target_accuracy <= 1):
+        raise ValueError("target_accuracy must be in (0, 1]")
+    attempts = [o for o in outcomes if o.inliers_bv > 0]
+
+    def smallest_threshold(key) -> int:
+        counts = sorted({key(o) for o in attempts})
+        for threshold in counts:
+            selected = [o for o in attempts if key(o) > threshold]
+            if len(selected) < 3:
+                break
+            accuracy = np.mean([o.errors.translation < error_limit
+                                for o in selected])
+            if accuracy >= target_accuracy:
+                return int(threshold)
+        return int(counts[-1]) if counts else 0
+
+    return (smallest_threshold(lambda o: o.inliers_bv),
+            smallest_threshold(lambda o: o.inliers_box))

@@ -1,0 +1,118 @@
+"""ICP study — empirically backing the paper's related-work claims.
+
+The paper dismisses raw 3-D registration for V2V on three grounds
+(Sec. II): it needs similar sensor setups / a good initial pose, it
+merges different-viewpoint observations point-to-point, and it requires
+transmitting whole point clouds.  This experiment quantifies each on the
+simulated dataset:
+
+* **cold ICP** (identity init): convergence basin vs the true offset;
+* **warm ICP** (seeded with BB-Align's stage-1): what ICP refinement
+  buys *on top of* image matching, compared with the paper's stage-2
+  box alignment at a fraction of the bandwidth;
+* bandwidth: ICP's point-cloud transfer vs BB-Align's message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.icp import icp_2d
+from repro.core.pipeline import BBAlign
+from repro.detection.simulated import SimulatedDetector
+from repro.experiments.common import default_dataset, detect_for_pair
+from repro.metrics.pose_error import pose_errors
+from repro.pointcloud.ops import remove_ground
+
+__all__ = ["IcpStudyResult", "run_icp_study", "format_icp_study"]
+
+
+@dataclass(frozen=True)
+class IcpStudyResult:
+    """Aggregates over the sweep.
+
+    Attributes:
+        cold_icp_under_1m: cold-start ICP pairs under 1 m (fraction of
+            all pairs).
+        warm_icp_under_1m: stage-1-seeded ICP under 1 m.
+        bb_align_under_1m: full BB-Align under 1 m.
+        stage1_under_1m: stage 1 alone under 1 m.
+        icp_bytes_mean: mean bytes ICP would transmit (raw cloud).
+        bb_bytes_mean: mean BB-Align message bytes.
+        num_pairs: pairs evaluated.
+    """
+
+    cold_icp_under_1m: float
+    warm_icp_under_1m: float
+    bb_align_under_1m: float
+    stage1_under_1m: float
+    icp_bytes_mean: float
+    bb_bytes_mean: float
+    num_pairs: int
+
+
+def run_icp_study(num_pairs: int = 16, seed: int = 2024) -> IcpStudyResult:
+    dataset = default_dataset(num_pairs, seed)
+    aligner = BBAlign()
+    detector = SimulatedDetector()
+
+    cold, warm, bb, stage1 = [], [], [], []
+    icp_bytes, bb_bytes = [], []
+    for record in dataset:
+        pair = record.pair
+        gt = pair.gt_relative
+        ego_dets, other_dets = detect_for_pair(pair, detector,
+                                               seed + record.index)
+        recovery = aligner.recover(pair.ego_cloud, pair.other_cloud,
+                                   [d.box for d in ego_dets],
+                                   [d.box for d in other_dets],
+                                   rng=np.random.default_rng(
+                                       [seed, record.index]))
+        bb.append(pose_errors(recovery.transform, gt).translation)
+        stage1.append(pose_errors(recovery.stage1.transform,
+                                  gt).translation)
+        bb_bytes.append(recovery.message_bytes)
+        icp_bytes.append(BBAlign.raw_cloud_bytes(pair.other_cloud))
+
+        # ICP on above-ground points (standard practice).
+        source = remove_ground(pair.other_cloud).xy
+        target = remove_ground(pair.ego_cloud).xy
+        rng = np.random.default_rng([seed, record.index, 1])
+        cold_result = icp_2d(source, target, rng=rng)
+        cold.append(pose_errors(cold_result.transform, gt).translation)
+        warm_result = icp_2d(source, target,
+                             initial=recovery.stage1.transform, rng=rng)
+        warm.append(pose_errors(warm_result.transform, gt).translation)
+
+    n = max(num_pairs, 1)
+    return IcpStudyResult(
+        cold_icp_under_1m=sum(e < 1.0 for e in cold) / n,
+        warm_icp_under_1m=sum(e < 1.0 for e in warm) / n,
+        bb_align_under_1m=sum(e < 1.0 for e in bb) / n,
+        stage1_under_1m=sum(e < 1.0 for e in stage1) / n,
+        icp_bytes_mean=float(np.mean(icp_bytes)),
+        bb_bytes_mean=float(np.mean(bb_bytes)),
+        num_pairs=num_pairs,
+    )
+
+
+def format_icp_study(result: IcpStudyResult) -> str:
+    return "\n".join([
+        f"ICP study (Sec. II claims) over {result.num_pairs} pairs — "
+        "fraction under 1 m translation error:",
+        f"  ICP, identity init (no prior pose): "
+        f"{result.cold_icp_under_1m * 100:5.1f} %",
+        f"  ICP seeded with BB-Align stage 1:   "
+        f"{result.warm_icp_under_1m * 100:5.1f} %",
+        f"  BB-Align stage 1 alone:             "
+        f"{result.stage1_under_1m * 100:5.1f} %",
+        f"  BB-Align full (stage 1 + 2):        "
+        f"{result.bb_align_under_1m * 100:5.1f} %",
+        f"  bandwidth: ICP needs the raw cloud "
+        f"({result.icp_bytes_mean / 1024:.0f} KiB/frame) vs BB-Align's "
+        f"{result.bb_bytes_mean / 1024:.0f} KiB/frame",
+        "  (paper: raw registration is unusable without a prior pose and "
+        "costs early-fusion bandwidth)",
+    ])

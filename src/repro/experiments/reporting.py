@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results (paper-style tables/series)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.aggregation import Cdf
+
+__all__ = ["format_cdf_series", "format_percentile_table", "format_table"]
+
+
+def format_cdf_series(name: str, cdf: Cdf,
+                      grid=(0.25, 0.5, 1.0, 2.0, 5.0)) -> str:
+    """One CDF rendered as 'P(err <= x)' rows."""
+    parts = [f"{name}:"]
+    if cdf.values.size == 0:
+        parts.append("  (no samples)")
+        return "\n".join(parts)
+    for threshold in grid:
+        parts.append(f"  P(err <= {threshold:g}) = "
+                     f"{cdf.fraction_below(threshold) * 100:5.1f} %")
+    return "\n".join(parts)
+
+
+def format_percentile_table(rows: dict[str, dict[int, float]],
+                            title: str = "") -> str:
+    """Rows of p10/p25/p50/p75/p90 percentiles."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'group':>16} |" + "".join(f"  p{p:<4}" for p in (10, 25, 50, 75, 90))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, summary in rows.items():
+        cells = "".join(
+            f" {summary.get(p, float('nan')):6.2f}" for p in (10, 25, 50, 75, 90))
+        lines.append(f"{name:>16} |{cells}")
+    return "\n".join(lines)
+
+
+def format_table(headers: list[str], rows: list[list],
+                 title: str = "") -> str:
+    """Generic fixed-width table."""
+    widths = [max(len(str(h)), 6) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            text = f"{cell:.1f}" if isinstance(cell, float) else str(cell)
+            widths[i] = max(widths[i], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        cells = []
+        for cell, width in zip(row, widths):
+            text = (f"{cell:.1f}" if isinstance(cell, float)
+                    and not np.isnan(cell) else
+                    ("--" if isinstance(cell, float) else str(cell)))
+            cells.append(text.rjust(width))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

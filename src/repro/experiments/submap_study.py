@@ -1,0 +1,141 @@
+"""Submap study — accumulated scans vs single sweeps at long range.
+
+The reproduction's known deviation (EXPERIMENTS.md) is that long-range
+(55 m+) recovery fails more often than the paper's: a single sweep is
+too sparse in the far overlap region.  BVMatch — the paper's matching
+substrate — actually matches *submaps*.  This study measures what
+3-sweep odometry-fused submaps buy BB-Align's stage 1 on hard, long-range
+pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bv_matching import BVMatcher
+from repro.core.config import BBAlignConfig
+from repro.geometry.se2 import SE2
+from repro.metrics.pose_error import pose_errors
+from repro.pointcloud.accumulate import accumulate_scans
+from repro.simulation.scenario import ScenarioConfig
+from repro.simulation.sequence import DriveSequence, SequenceConfig
+
+__all__ = ["SubmapStudyResult", "run_submap_study", "format_submap_study"]
+
+_SWEEPS = 3
+
+
+@dataclass(frozen=True)
+class SubmapStudyResult:
+    """Aggregates over all long-range scenes.
+
+    Attributes:
+        single_success / submap_success: stage-1 success-criterion rate.
+        single_median_inliers / submap_median_inliers: Inliers_bv.
+        single_under_1m / submap_under_1m: accurate recoveries over all
+            scenes.
+        num_scenes: scenes evaluated.
+        distance_range: the (hard) inter-vehicle distances used.
+    """
+
+    single_success: float
+    submap_success: float
+    single_median_inliers: float
+    submap_median_inliers: float
+    single_under_1m: float
+    submap_under_1m: float
+    num_scenes: int
+    distance_range: tuple[float, float]
+
+
+def _noisy_step(step: SE2, rng: np.random.Generator) -> SE2:
+    scale = 1.0 + rng.normal(0.0, 0.01)
+    return SE2(step.theta + rng.normal(0.0, np.deg2rad(0.05)),
+               step.tx * scale + rng.normal(0.0, 0.01),
+               step.ty * scale + rng.normal(0.0, 0.01))
+
+
+def run_submap_study(num_pairs: int = 6, seed: int = 2024,
+                     distance_range: tuple[float, float] = (50.0, 65.0),
+                     ) -> SubmapStudyResult:
+    """Run the study (``num_pairs`` = scene count)."""
+    num_scenes = max(num_pairs, 1)
+    matcher = BVMatcher(BBAlignConfig())
+    threshold = BBAlignConfig().success.min_inliers_bv
+
+    single_inliers, submap_inliers = [], []
+    single_hits = submap_hits = 0
+    single_ok = submap_ok = 0
+    for s in range(num_scenes):
+        rng = np.random.default_rng([seed, s])
+        distance = float(rng.uniform(*distance_range))
+        sequence = DriveSequence(SequenceConfig(
+            scenario=ScenarioConfig(distance=distance,
+                                    same_direction_prob=1.0),
+            num_frames=_SWEEPS, frame_dt=0.25), rng=rng)
+        frames = list(sequence)
+        current = frames[-1]
+
+        # Odometry poses per sweep, from noisy GT deltas (each vehicle's
+        # own dead reckoning).
+        def odometry(poses_attr):
+            chain = [SE2.identity()]
+            for previous, frame in zip(frames[:-1], frames[1:]):
+                step = _noisy_step(
+                    getattr(previous, poses_attr).inverse()
+                    @ getattr(frame, poses_attr), rng)
+                chain.append(chain[-1] @ step)
+            return chain
+
+        ego_submap = accumulate_scans(
+            [f.ego_cloud for f in frames], odometry("ego_pose"))
+        other_submap = accumulate_scans(
+            [f.other_cloud for f in frames], odometry("other_pose"))
+
+        gt = current.gt_relative
+        single = matcher.match_clouds(current.other_cloud,
+                                      current.ego_cloud,
+                                      rng=np.random.default_rng([seed, s, 1]))
+        submap = matcher.match_clouds(other_submap, ego_submap,
+                                      rng=np.random.default_rng([seed, s, 2]))
+
+        single_inliers.append(single.inliers_bv)
+        submap_inliers.append(submap.inliers_bv)
+        single_hits += single.inliers_bv > threshold
+        submap_hits += submap.inliers_bv > threshold
+        if single.success:
+            single_ok += pose_errors(single.transform, gt).translation < 1.0
+        if submap.success:
+            submap_ok += pose_errors(submap.transform, gt).translation < 1.0
+
+    n = num_scenes
+    return SubmapStudyResult(
+        single_success=single_hits / n,
+        submap_success=submap_hits / n,
+        single_median_inliers=float(np.median(single_inliers)),
+        submap_median_inliers=float(np.median(submap_inliers)),
+        single_under_1m=single_ok / n,
+        submap_under_1m=submap_ok / n,
+        num_scenes=n,
+        distance_range=distance_range,
+    )
+
+
+def format_submap_study(result: SubmapStudyResult) -> str:
+    lo, hi = result.distance_range
+    return "\n".join([
+        f"Submap study (extension) — {result.num_scenes} long-range scenes "
+        f"({lo:.0f}-{hi:.0f} m), {_SWEEPS}-sweep odometry-fused submaps:",
+        f"  stage-1 success rate: single sweep "
+        f"{result.single_success * 100:5.1f} %  ->  submap "
+        f"{result.submap_success * 100:5.1f} %",
+        f"  median Inliers_bv:    single {result.single_median_inliers:.0f}"
+        f"  ->  submap {result.submap_median_inliers:.0f}",
+        f"  recoveries under 1 m: single "
+        f"{result.single_under_1m * 100:5.1f} %  ->  submap "
+        f"{result.submap_under_1m * 100:5.1f} %",
+        "  (BVMatch, the paper's matching substrate, matches submaps — "
+        "density at range is what single sweeps lack)",
+    ])

@@ -1,0 +1,137 @@
+"""Table I — cooperative detection AP under corrupted vs recovered pose.
+
+Paper result: Gaussian pose noise (sigma_t = 2 m, sigma_theta = 2 deg)
+cripples every fusion method (no method above AP 35/20 at IoU 0.5/0.7);
+plugging in BB-Align's recovered pose roughly doubles AP at 0.5 with the
+biggest gains at 0-30 m (all methods above 60 there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import BBAlign
+from repro.detection.evaluation import (
+    DISTANCE_BINS,
+    DetectionEvalResult,
+    evaluate_cooperative_detection,
+)
+from repro.detection.fusion import (
+    CoBEVTFusionDetector,
+    EarlyFusionDetector,
+    FCooperFusionDetector,
+    LateFusionDetector,
+)
+from repro.detection.simulated import COBEVT_PROFILE, SimulatedDetector
+from repro.experiments.common import default_dataset, detect_for_pair
+from repro.experiments.reporting import format_table
+from repro.geometry.se2 import SE2
+from repro.noise.pose_noise import PoseNoiseModel
+
+__all__ = ["Table1Result", "run_table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """AP tables per (method, pose source).
+
+    Attributes:
+        results: ``{(method_name, pose_source): DetectionEvalResult}``
+            with pose_source in {"noisy", "recovered"}.
+        recovery_success_rate: fraction of pairs where BB-Align met its
+            success criterion (failures fall back to the noisy pose, as a
+            deployed system would).
+        num_pairs: evaluated pair count.
+    """
+
+    results: dict[tuple[str, str], DetectionEvalResult]
+    recovery_success_rate: float
+    num_pairs: int
+
+
+def run_table1(num_pairs: int = 40, seed: int = 2024,
+               sigma_translation: float = 2.0,
+               sigma_rotation_deg: float = 2.0,
+               max_pair_distance: float = 60.0) -> Table1Result:
+    """Run the Table I experiment.
+
+    Args:
+        num_pairs: dataset pairs to evaluate.
+        seed: dataset seed.
+        sigma_translation / sigma_rotation_deg: the paper's pose noise.
+        max_pair_distance: skip pairs whose vehicles are farther apart
+            (fusion adds nothing there and recovery rarely succeeds —
+            the paper's detection evaluation is likewise dominated by
+            close-range cooperation).
+
+    Returns:
+        A :class:`Table1Result`.
+    """
+    dataset = default_dataset(num_pairs, seed)
+    noise = PoseNoiseModel(sigma_translation=sigma_translation,
+                           sigma_rotation_deg=sigma_rotation_deg)
+    aligner = BBAlign()
+    detector = SimulatedDetector(COBEVT_PROFILE)
+
+    pairs_noisy: list[tuple] = []
+    pairs_recovered: list[tuple] = []
+    recoveries = 0
+    used = 0
+    for record in dataset:
+        pair = record.pair
+        if pair.distance > max_pair_distance:
+            continue
+        used += 1
+        noisy_pose = noise.corrupt(
+            pair.gt_relative, np.random.default_rng([seed, record.index, 10]))
+        ego_dets, other_dets = detect_for_pair(pair, detector,
+                                               seed + record.index)
+        recovery = aligner.recover(
+            pair.ego_cloud, pair.other_cloud,
+            [d.box for d in ego_dets], [d.box for d in other_dets],
+            rng=np.random.default_rng([seed, record.index, 11]))
+        if recovery.success:
+            recovered_pose: SE2 = recovery.transform
+            recoveries += 1
+        else:
+            recovered_pose = noisy_pose  # system falls back to GPS
+        pairs_noisy.append((pair, noisy_pose))
+        pairs_recovered.append((pair, recovered_pose))
+
+    methods = [EarlyFusionDetector(), LateFusionDetector(),
+               FCooperFusionDetector(), CoBEVTFusionDetector()]
+    results: dict[tuple[str, str], DetectionEvalResult] = {}
+    for method in methods:
+        results[(method.name, "noisy")] = evaluate_cooperative_detection(
+            pairs_noisy, method, rng=seed)
+        results[(method.name, "recovered")] = evaluate_cooperative_detection(
+            pairs_recovered, method, rng=seed)
+    return Table1Result(results=results,
+                        recovery_success_rate=recoveries / max(used, 1),
+                        num_pairs=used)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render the paper's Table I layout (AP@0.5/0.7 per cell)."""
+    headers = ["Method", "Pose", "Overall", "0-30m", "30-50m", "50-100m"]
+    rows: list[list] = []
+    for (name, source), eval_result in result.results.items():
+        cells = [name, source]
+        for column in [None, *DISTANCE_BINS]:
+            if column is None:
+                ap50 = eval_result.overall[0.5].ap_percent
+                ap70 = eval_result.overall[0.7].ap_percent
+            else:
+                ap50 = eval_result.by_distance[column][0.5].ap_percent
+                ap70 = eval_result.by_distance[column][0.7].ap_percent
+            cells.append(f"{ap50:.1f}/{ap70:.1f}")
+        rows.append(cells)
+    return "\n".join([
+        f"Table I — AP@IoU=0.5/0.7 over {result.num_pairs} pairs "
+        f"(recovery success {result.recovery_success_rate * 100:.0f} %)",
+        format_table(headers, rows),
+        "  (paper: noise caps every method at 35/20; recovery roughly "
+        "doubles AP@0.5, strongest at 0-30 m)",
+    ])

@@ -1,0 +1,140 @@
+"""Tracking study — per-frame recovery vs odometry-fused tracking.
+
+Extension experiment: over drive sequences, compare raw per-frame
+BB-Align output with :class:`repro.core.temporal.PoseTracker`, measuring
+
+* coverage — fraction of frames with a usable estimate (< 1 m), where
+  raw recovery only counts frames meeting the success criterion but the
+  tracker can coast through gaps on odometry;
+* accuracy on covered frames.
+
+Odometry increments are taken from ground-truth pose deltas corrupted
+with realistic noise (1 % scale error + jitter), modeling wheel/IMU
+odometry over 0.1-0.3 s horizons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import BBAlign
+from repro.core.temporal import PoseTracker
+from repro.detection.simulated import SimulatedDetector
+from repro.geometry.se2 import SE2
+from repro.simulation.scenario import ScenarioConfig
+from repro.simulation.sequence import DriveSequence, SequenceConfig
+
+__all__ = ["TrackingStudyResult", "run_tracking_study",
+           "format_tracking_study"]
+
+
+@dataclass(frozen=True)
+class TrackingStudyResult:
+    """Aggregates over all sequences.
+
+    Attributes:
+        raw_coverage: frames with successful recovery AND < 1 m error.
+        tracked_coverage: frames where the (initialized) tracker is
+            < 1 m from truth.
+        raw_median_error: median error of successful recoveries.
+        tracked_median_error: median error of initialized tracker frames.
+        num_sequences / frames_per_sequence: study size.
+    """
+
+    raw_coverage: float
+    tracked_coverage: float
+    raw_median_error: float
+    tracked_median_error: float
+    num_sequences: int
+    frames_per_sequence: int
+
+
+def _noisy_step(step: SE2, rng: np.random.Generator) -> SE2:
+    """Odometry-style corruption: 1 % scale + small additive jitter."""
+    scale = 1.0 + rng.normal(0.0, 0.01)
+    return SE2(step.theta + rng.normal(0.0, np.deg2rad(0.05)),
+               step.tx * scale + rng.normal(0.0, 0.01),
+               step.ty * scale + rng.normal(0.0, 0.01))
+
+
+def run_tracking_study(num_pairs: int = 4, seed: int = 2024,
+                       frames_per_sequence: int = 8) -> TrackingStudyResult:
+    """Run the study (``num_pairs`` doubles as the sequence count, for
+    CLI signature uniformity)."""
+    num_sequences = max(num_pairs, 1)
+    aligner = BBAlign()
+    detector = SimulatedDetector()
+
+    raw_errors: list[float] = []
+    raw_usable = 0
+    tracked_errors: list[float] = []
+    tracked_usable = 0
+    total_frames = 0
+
+    for s in range(num_sequences):
+        rng = np.random.default_rng([seed, s])
+        sequence = DriveSequence(
+            SequenceConfig(scenario=ScenarioConfig(
+                distance=float(rng.uniform(15, 40)),
+                same_direction_prob=1.0),
+                num_frames=frames_per_sequence, frame_dt=0.2),
+            rng=rng)
+        tracker = PoseTracker()
+        previous = None
+        for t, frame in enumerate(sequence):
+            total_frames += 1
+            ego_dets = detector.detect(frame.ego_visible,
+                                       np.random.default_rng([seed, s, t, 0]))
+            other_dets = detector.detect(frame.other_visible,
+                                         np.random.default_rng([seed, s, t, 1]))
+            recovery = aligner.recover(
+                frame.ego_cloud, frame.other_cloud,
+                [d.box for d in ego_dets], [d.box for d in other_dets],
+                rng=np.random.default_rng([seed, s, t, 2]))
+
+            if previous is not None and tracker.initialized:
+                ego_step = _noisy_step(
+                    previous.ego_pose.inverse() @ frame.ego_pose, rng)
+                other_step = _noisy_step(
+                    previous.other_pose.inverse() @ frame.other_pose, rng)
+                tracker.predict(ego_step, other_step)
+            tracked = tracker.update(recovery)
+            previous = frame
+
+            truth = frame.gt_relative
+            if recovery.success:
+                error = recovery.transform.translation_distance(truth)
+                raw_errors.append(error)
+                raw_usable += error < 1.0
+            if tracker.initialized:
+                error = tracked.transform.translation_distance(truth)
+                tracked_errors.append(error)
+                tracked_usable += error < 1.0
+
+    return TrackingStudyResult(
+        raw_coverage=raw_usable / max(total_frames, 1),
+        tracked_coverage=tracked_usable / max(total_frames, 1),
+        raw_median_error=(float(np.median(raw_errors))
+                          if raw_errors else float("nan")),
+        tracked_median_error=(float(np.median(tracked_errors))
+                              if tracked_errors else float("nan")),
+        num_sequences=num_sequences,
+        frames_per_sequence=frames_per_sequence,
+    )
+
+
+def format_tracking_study(result: TrackingStudyResult) -> str:
+    return "\n".join([
+        f"Tracking study (extension) — {result.num_sequences} sequences x "
+        f"{result.frames_per_sequence} frames:",
+        f"  per-frame recovery: coverage(<1m) = "
+        f"{result.raw_coverage * 100:5.1f} %, median error "
+        f"{result.raw_median_error:.2f} m",
+        f"  odometry-fused tracker: coverage(<1m) = "
+        f"{result.tracked_coverage * 100:5.1f} %, median error "
+        f"{result.tracked_median_error:.2f} m",
+        "  (the tracker coasts through failed recoveries on odometry, "
+        "raising coverage)",
+    ])

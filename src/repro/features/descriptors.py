@@ -1,0 +1,225 @@
+"""BVFT-style descriptors computed from the Maximum Index Map.
+
+For each keypoint the paper (following BVMatch [27] / RIFT [25]):
+
+1. takes a ``J x J`` patch of the MIM centered on the keypoint,
+2. estimates the patch's *dominant orientation* from the amplitude-weighted
+   histogram of MIM values and rotates the patch so the dominant
+   orientation lands on a fixed reference (the ORB trick, giving rotation
+   invariance),
+3. splits the patch into ``l x l`` grid cells and builds one ``N_o``-bin
+   orientation histogram per cell (Eq. in Sec. IV-A), yielding an
+   ``l * l * N_o`` vector, which is L2-normalized.
+
+Rotating an orientation *map* needs two coupled actions: resampling pixel
+positions by the rotation, and shifting the orientation *values* by the
+same angle (an orientation index is itself a direction).  MIM orientations
+live on ``[0, pi)`` in steps of ``pi / N_o``, so rotation by a dominant-bin
+angle is an exact circular shift of the value space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bev.mim import MIMResult
+from repro.features.fast import Keypoints
+
+__all__ = ["BvftConfig", "DescriptorSet", "BvftDescriptorExtractor"]
+
+_INVALID = -1  # marker for out-of-image / zero-energy pixels in patches
+
+
+@dataclass(frozen=True)
+class BvftConfig:
+    """Descriptor hyperparameters (paper: J = 96, l = 6; the default
+    J = 48 is the simulated-substrate calibration, see DESIGN.md).
+
+    Attributes:
+        patch_size: side length ``J`` of the square descriptor patch, in
+            pixels.
+        grid_size: ``l``; the patch is divided into ``l x l`` cells.
+        rotation_invariant: when False, skips the dominant-orientation
+            normalization (useful for ablations; the paper notes MIM alone
+            is not rotation invariant).
+        clip_value: SIFT-style histogram clipping fraction applied after
+            the first normalization (0 disables).
+        amplitude_weighting: weight histogram votes by Log-Gabor amplitude
+            rather than counting pixels.
+    """
+
+    patch_size: int = 48
+    grid_size: int = 6
+    rotation_invariant: bool = True
+    clip_value: float = 0.25
+    amplitude_weighting: bool = True
+
+    def __post_init__(self) -> None:
+        if self.patch_size < 4:
+            raise ValueError("patch_size must be >= 4")
+        if self.grid_size < 1:
+            raise ValueError("grid_size must be >= 1")
+        if self.patch_size % self.grid_size != 0:
+            raise ValueError("patch_size must be divisible by grid_size")
+        if not (0 <= self.clip_value <= 1):
+            raise ValueError("clip_value must be in [0, 1]")
+
+    def descriptor_length(self, num_orientations: int) -> int:
+        return self.grid_size * self.grid_size * num_orientations
+
+
+@dataclass(frozen=True)
+class DescriptorSet:
+    """Descriptors for the keypoints that could be described.
+
+    Attributes:
+        descriptors: (M, D) float array, rows L2-normalized.
+        keypoint_xy: (M, 2) pixel (col, row) positions, aligned with rows.
+        keypoint_indices: (M,) indices into the original keypoint list.
+        dominant_bins: (M,) dominant-orientation bin used for rotation
+            normalization (0 when rotation invariance is off).
+    """
+
+    descriptors: np.ndarray
+    keypoint_xy: np.ndarray
+    keypoint_indices: np.ndarray
+    dominant_bins: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.descriptors)
+
+    @staticmethod
+    def empty(dim: int) -> "DescriptorSet":
+        return DescriptorSet(np.empty((0, dim)), np.empty((0, 2)),
+                             np.empty(0, dtype=int), np.empty(0, dtype=int))
+
+
+class BvftDescriptorExtractor:
+    """Computes BVFT descriptors for FAST keypoints on a MIM.
+
+    The rotation resampling grids are precomputed once per dominant bin
+    (there are only ``N_o`` possible rotation angles), so per-keypoint work
+    is two fancy-indexing gathers and one bincount.
+    """
+
+    def __init__(self, config: BvftConfig | None = None) -> None:
+        self.config = config or BvftConfig()
+        self._rotation_grids: dict[tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _rotation_grid(self, num_orientations: int, bin_index: int,
+                       patch: int) -> np.ndarray:
+        """(2, J, J) integer source offsets implementing rotation by the
+        bin's angle about the patch center (inverse mapping, nearest
+        neighbor)."""
+        key = (num_orientations, bin_index)
+        grid = self._rotation_grids.get(key)
+        if grid is not None:
+            return grid
+        angle = bin_index * np.pi / num_orientations
+        half = (patch - 1) / 2.0
+        out = np.arange(patch) - half
+        oc, orr = np.meshgrid(out, out)  # output col/row offsets
+        # Inverse map: source = R(+angle) @ output (rotating the patch
+        # content by -angle aligns the dominant orientation to bin 0).
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        src_c = cos_a * oc - sin_a * orr
+        src_r = sin_a * oc + cos_a * orr
+        grid = np.stack([np.rint(src_r).astype(np.int64),
+                         np.rint(src_c).astype(np.int64)])
+        self._rotation_grids[key] = grid
+        return grid
+
+    # ------------------------------------------------------------------
+    def compute(self, mim_result: MIMResult,
+                keypoints: Keypoints) -> DescriptorSet:
+        """Describe every keypoint far enough from the border.
+
+        Keypoints whose (rotated) patch would leave the image are padded
+        with invalid pixels, which simply contribute no histogram votes;
+        keypoints with an entirely invalid patch are dropped.
+        """
+        cfg = self.config
+        n_orient = mim_result.num_orientations
+        dim = cfg.descriptor_length(n_orient)
+        if len(keypoints) == 0:
+            return DescriptorSet.empty(dim)
+
+        patch = cfg.patch_size
+        # Pad by the patch diagonal so any rotation stays in bounds.
+        pad = int(np.ceil(patch * np.sqrt(2) / 2)) + 2
+        mim = np.pad(mim_result.mim, pad, mode="constant",
+                     constant_values=_INVALID)
+        valid = mim_result.valid_mask()
+        if cfg.amplitude_weighting:
+            weights_img = mim_result.max_amplitude * valid
+        else:
+            weights_img = valid.astype(float)
+        weights = np.pad(weights_img, pad, mode="constant", constant_values=0.0)
+
+        grid_cells = cfg.grid_size
+        cell = patch // grid_cells
+        # Per-patch-pixel cell index (row-major over the l x l grid).
+        out_idx = np.arange(patch) // cell
+        cell_index = (out_idx[:, None] * grid_cells + out_idx[None, :])
+
+        descriptors = []
+        kept_xy = []
+        kept_idx = []
+        kept_bins = []
+        rows_all = np.rint(keypoints.xy[:, 1]).astype(np.int64) + pad
+        cols_all = np.rint(keypoints.xy[:, 0]).astype(np.int64) + pad
+        identity_grid = self._rotation_grid(n_orient, 0, patch)
+
+        for i in range(len(keypoints)):
+            r0, c0 = rows_all[i], cols_all[i]
+            if cfg.rotation_invariant:
+                # Dominant orientation from the *unrotated* patch.
+                patch_vals = mim[identity_grid[0] + r0, identity_grid[1] + c0]
+                patch_w = weights[identity_grid[0] + r0, identity_grid[1] + c0]
+                votes = np.bincount(
+                    patch_vals[patch_vals >= 0],
+                    weights=patch_w[patch_vals >= 0],
+                    minlength=n_orient)
+                if votes.sum() <= 0:
+                    continue
+                dom = int(np.argmax(votes))
+            else:
+                dom = 0
+            grid = self._rotation_grid(n_orient, dom, patch)
+            vals = mim[grid[0] + r0, grid[1] + c0]
+            w = weights[grid[0] + r0, grid[1] + c0]
+            valid_mask = vals >= 0
+            if not valid_mask.any():
+                continue
+            # Rotating content by -angle shifts orientation values by -dom.
+            shifted = np.where(valid_mask, (vals - dom) % n_orient, 0)
+            flat_bins = cell_index * n_orient + shifted
+            hist = np.bincount(flat_bins[valid_mask],
+                               weights=w[valid_mask],
+                               minlength=dim).astype(float)
+            norm = np.linalg.norm(hist)
+            if norm <= 0:
+                continue
+            hist /= norm
+            if cfg.clip_value > 0:
+                np.minimum(hist, cfg.clip_value, out=hist)
+                norm = np.linalg.norm(hist)
+                if norm <= 0:
+                    continue
+                hist /= norm
+            descriptors.append(hist)
+            kept_xy.append(keypoints.xy[i])
+            kept_idx.append(i)
+            kept_bins.append(dom)
+
+        if not descriptors:
+            return DescriptorSet.empty(dim)
+        return DescriptorSet(
+            descriptors=np.asarray(descriptors),
+            keypoint_xy=np.asarray(kept_xy, dtype=float),
+            keypoint_indices=np.asarray(kept_idx, dtype=int),
+            dominant_bins=np.asarray(kept_bins, dtype=int),
+        )

@@ -1,0 +1,123 @@
+"""A SIFT-like gradient-histogram descriptor baseline.
+
+The paper reports that traditional intensity-gradient methods (SIFT, ORB)
+"proved to be ineffective, failing to produce meaningful results" on
+sparse BV images.  This extractor implements that baseline: classic
+gradient-orientation histograms over the *raw BV height image* (instead
+of the Log-Gabor MIM) with the same patch/grid layout as the BVFT
+extractor, faithful to the classic recipe (Gaussian-smoothed gradients,
+magnitude-weighted votes, dominant-orientation rotation normalization).
+
+Reproduction note (see EXPERIMENTS.md): on the *simulated* substrate this
+baseline does not fully collapse the way the paper observed on V2V4Real —
+synthetic height maps have stable, smooth intensities, whereas real BV
+images suffer the per-scan intensity instability that breaks gradient
+descriptors.  The module is kept as the comparison point and the
+substrate limitation is documented rather than engineered around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.features.descriptors import BvftConfig, DescriptorSet
+from repro.features.fast import Keypoints
+
+__all__ = ["GradientDescriptorExtractor"]
+
+
+class GradientDescriptorExtractor:
+    """Gradient-orientation descriptors on the raw BV image."""
+
+    def __init__(self, config: BvftConfig | None = None,
+                 num_bins: int = 12, smoothing_sigma: float = 1.0) -> None:
+        if num_bins < 2:
+            raise ValueError("num_bins must be >= 2")
+        if smoothing_sigma < 0:
+            raise ValueError("smoothing_sigma must be >= 0")
+        self.config = config or BvftConfig()
+        self.num_bins = num_bins
+        self.smoothing_sigma = smoothing_sigma
+
+    def compute(self, image: np.ndarray,
+                keypoints: Keypoints) -> DescriptorSet:
+        """Describe keypoints with grid gradient histograms.
+
+        Mirrors :meth:`BvftDescriptorExtractor.compute`'s contract: rows
+        are L2-normalized, positions/indices align with kept keypoints.
+        """
+        cfg = self.config
+        dim = cfg.grid_size * cfg.grid_size * self.num_bins
+        if len(keypoints) == 0:
+            return DescriptorSet.empty(dim)
+
+        image = np.asarray(image, dtype=float)
+        if self.smoothing_sigma > 0:
+            image = ndimage.gaussian_filter(image, self.smoothing_sigma)
+        gy, gx = np.gradient(image)
+        magnitude = np.hypot(gx, gy)
+        orientation = np.mod(np.arctan2(gy, gx), 2.0 * np.pi)
+
+        patch = cfg.patch_size
+        half = patch // 2
+        pad = patch  # generous: covers rotated sampling
+        magnitude = np.pad(magnitude, pad)
+        orientation = np.pad(orientation, pad)
+
+        grid_cells = cfg.grid_size
+        cell = patch // grid_cells
+        out_idx = np.arange(patch) // cell
+        cell_index = out_idx[:, None] * grid_cells + out_idx[None, :]
+        coords = np.arange(patch) - (patch - 1) / 2.0
+        oc, orr = np.meshgrid(coords, coords)
+
+        descriptors, kept_xy, kept_idx, kept_bins = [], [], [], []
+        for i in range(len(keypoints)):
+            c0 = int(round(keypoints.xy[i, 0])) + pad
+            r0 = int(round(keypoints.xy[i, 1])) + pad
+            mag = magnitude[r0 - half:r0 + half, c0 - half:c0 + half]
+            ori = orientation[r0 - half:r0 + half, c0 - half:c0 + half]
+            if mag.sum() <= 0:
+                continue
+            # Dominant orientation of the patch.
+            bins_flat = (np.floor(ori / (2 * np.pi) * self.num_bins)
+                         .astype(int).ravel() % self.num_bins)
+            votes = np.bincount(bins_flat, weights=mag.ravel(),
+                                minlength=self.num_bins)
+            dom_bin = int(np.argmax(votes))
+            dom_angle = (dom_bin + 0.5) * 2 * np.pi / self.num_bins
+
+            # Rotate sampling grid by the dominant angle (inverse map).
+            cos_a, sin_a = np.cos(dom_angle), np.sin(dom_angle)
+            src_c = np.rint(cos_a * oc - sin_a * orr).astype(int) + c0
+            src_r = np.rint(sin_a * oc + cos_a * orr).astype(int) + r0
+            mag_rot = magnitude[src_r, src_c]
+            ori_rot = np.mod(orientation[src_r, src_c] - dom_angle, 2 * np.pi)
+
+            bins = np.floor(ori_rot / (2 * np.pi) * self.num_bins).astype(int)
+            bins %= self.num_bins
+            flat = cell_index * self.num_bins + bins
+            hist = np.bincount(flat.ravel(), weights=mag_rot.ravel(),
+                               minlength=dim).astype(float)
+            norm = np.linalg.norm(hist)
+            if norm <= 0:
+                continue
+            hist /= norm
+            if cfg.clip_value > 0:
+                np.minimum(hist, cfg.clip_value, out=hist)
+                norm = np.linalg.norm(hist)
+                if norm <= 0:
+                    continue
+                hist /= norm
+            descriptors.append(hist)
+            kept_xy.append(keypoints.xy[i])
+            kept_idx.append(i)
+            kept_bins.append(dom_bin)
+
+        if not descriptors:
+            return DescriptorSet.empty(dim)
+        return DescriptorSet(np.asarray(descriptors),
+                             np.asarray(kept_xy, dtype=float),
+                             np.asarray(kept_idx, dtype=int),
+                             np.asarray(kept_bins, dtype=int))

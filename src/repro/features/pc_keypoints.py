@@ -1,0 +1,80 @@
+"""Phase-congruency keypoints (the RIFT-style detector).
+
+RIFT [25] — the origin of the paper's MIM descriptor — detects its
+keypoints on the phase-congruency maps rather than raw intensities:
+corners are local maxima of the *minimum moment* of orientation-wise
+phase congruency.  Provided as a third detector option
+(``BBAlignConfig.keypoint_detector = "phase_congruency"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.bev.log_gabor import LogGaborConfig
+from repro.bev.phase_congruency import compute_phase_congruency
+from repro.features.fast import Keypoints
+
+__all__ = ["PcKeypointConfig", "detect_pc_keypoints"]
+
+
+@dataclass(frozen=True)
+class PcKeypointConfig:
+    """PC-corner detector parameters.
+
+    Attributes:
+        relative_threshold: keep minimum-moment responses above this
+            fraction of the map's peak.
+        nms_radius: non-max-suppression half-width.
+        max_keypoints: strongest-first cap (0 = unlimited).
+        log_gabor: bank configuration (defaults to the paper's).
+    """
+
+    relative_threshold: float = 0.2
+    nms_radius: int = 1
+    max_keypoints: int = 1500
+    log_gabor: LogGaborConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not (0 < self.relative_threshold < 1):
+            raise ValueError("relative_threshold must be in (0, 1)")
+        if self.nms_radius < 0:
+            raise ValueError("nms_radius must be >= 0")
+
+
+def detect_pc_keypoints(image: np.ndarray,
+                        config: PcKeypointConfig | None = None) -> Keypoints:
+    """Minimum-moment phase-congruency corners, strongest first."""
+    config = config or PcKeypointConfig()
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2 or image.shape[0] != image.shape[1]:
+        raise ValueError(f"expected a square 2-D image, got {image.shape}")
+    if min(image.shape) < 8:
+        return Keypoints.empty()
+
+    result = compute_phase_congruency(image, config.log_gabor)
+    response = result.min_moment
+    peak = float(response.max())
+    if peak <= 0:
+        return Keypoints.empty()
+    corners = response >= config.relative_threshold * peak
+    if config.nms_radius > 0:
+        size = 2 * config.nms_radius + 1
+        local_max = ndimage.maximum_filter(response, size=size,
+                                           mode="constant")
+        corners &= response >= local_max
+    corners[:3, :] = corners[-3:, :] = False
+    corners[:, :3] = corners[:, -3:] = False
+
+    rows, cols = np.nonzero(corners)
+    if len(rows) == 0:
+        return Keypoints.empty()
+    scores = response[rows, cols]
+    order = np.argsort(-scores, kind="stable")
+    if config.max_keypoints:
+        order = order[:config.max_keypoints]
+    xy = np.stack([cols[order], rows[order]], axis=1).astype(float)
+    return Keypoints(xy=xy, scores=scores[order])

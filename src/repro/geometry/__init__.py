@@ -1,0 +1,41 @@
+"""Geometric primitives shared by every other subsystem.
+
+This package implements the math of the paper's Section III: planar rigid
+transforms (the 3-DoF pose ``(alpha, t_x, t_y)``), their lift to 3-D
+homogeneous transforms (Eq. 1-3), least-squares rigid estimation
+(Kabsch/Umeyama), a generic 2-D rigid RANSAC, and convex-polygon utilities
+used for rotated-box IoU.
+"""
+
+from repro.geometry.angles import (
+    angle_difference,
+    normalize_angle,
+    wrap_to_pi,
+)
+from repro.geometry.polygon import (
+    convex_hull,
+    convex_polygon_area,
+    convex_polygon_clip,
+)
+from repro.geometry.ransac import RansacResult, ransac_rigid_2d
+from repro.geometry.rigid import kabsch_2d, kabsch_3d, umeyama_2d
+from repro.geometry.se2 import SE2, rotation_matrix_2d
+from repro.geometry.se3 import SE3, rotation_matrix_zyx
+
+__all__ = [
+    "SE2",
+    "SE3",
+    "RansacResult",
+    "angle_difference",
+    "convex_hull",
+    "convex_polygon_area",
+    "convex_polygon_clip",
+    "kabsch_2d",
+    "kabsch_3d",
+    "normalize_angle",
+    "ransac_rigid_2d",
+    "rotation_matrix_2d",
+    "rotation_matrix_zyx",
+    "umeyama_2d",
+    "wrap_to_pi",
+]

@@ -1,0 +1,52 @@
+"""Angle arithmetic helpers.
+
+All angles in this codebase are radians unless a name explicitly says
+``deg``.  Rotation errors reported by the paper are absolute yaw
+differences in degrees; :func:`angle_difference` is the canonical way to
+compute them without wrap-around artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize_angle", "wrap_to_pi", "angle_difference", "deg2rad", "rad2deg"]
+
+
+def wrap_to_pi(angle):
+    """Wrap an angle (scalar or array) to the half-open interval [-pi, pi).
+
+    >>> float(wrap_to_pi(np.pi))
+    -3.141592653589793
+    >>> float(wrap_to_pi(0.0))
+    0.0
+    """
+    angle = np.asarray(angle, dtype=float)
+    wrapped = np.mod(angle + np.pi, 2.0 * np.pi) - np.pi
+    if wrapped.ndim == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def normalize_angle(angle):
+    """Alias of :func:`wrap_to_pi`; kept for call-site readability."""
+    return wrap_to_pi(angle)
+
+
+def angle_difference(a, b):
+    """Signed smallest difference ``a - b`` wrapped to [-pi, pi).
+
+    Works on scalars and arrays.  ``abs(angle_difference(est, gt))`` is the
+    rotation error used throughout the evaluation.
+    """
+    return wrap_to_pi(np.asarray(a, dtype=float) - np.asarray(b, dtype=float))
+
+
+def deg2rad(deg):
+    """Degrees to radians (thin wrapper, keeps intent explicit)."""
+    return np.deg2rad(deg)
+
+
+def rad2deg(rad):
+    """Radians to degrees (thin wrapper, keeps intent explicit)."""
+    return np.rad2deg(rad)

@@ -1,0 +1,166 @@
+"""Convex polygon utilities.
+
+Rotated-rectangle IoU — needed both for stage-2 overlap matching and for
+the AP evaluation of Table I — reduces to clipping one convex polygon
+against another (Sutherland-Hodgman) and measuring areas (shoelace).
+A monotone-chain convex hull supports the clustering detection head, which
+fits oriented boxes around point clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["convex_polygon_area", "convex_polygon_clip", "convex_hull",
+           "is_counterclockwise", "ensure_counterclockwise",
+           "minimum_area_rectangle"]
+
+
+def convex_polygon_area(vertices: np.ndarray) -> float:
+    """Unsigned area of a simple polygon given as (N, 2) vertices (shoelace)."""
+    vertices = np.asarray(vertices, dtype=float)
+    if len(vertices) < 3:
+        return 0.0
+    x, y = vertices[:, 0], vertices[:, 1]
+    return float(abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))) / 2.0)
+
+
+def is_counterclockwise(vertices: np.ndarray) -> bool:
+    """True when the polygon winds counter-clockwise (positive signed area)."""
+    vertices = np.asarray(vertices, dtype=float)
+    x, y = vertices[:, 0], vertices[:, 1]
+    signed = np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))
+    return bool(signed > 0)
+
+
+def ensure_counterclockwise(vertices: np.ndarray) -> np.ndarray:
+    """Return the polygon with counter-clockwise winding."""
+    vertices = np.asarray(vertices, dtype=float)
+    if len(vertices) >= 3 and not is_counterclockwise(vertices):
+        return vertices[::-1].copy()
+    return vertices.copy()
+
+
+def convex_polygon_clip(subject: np.ndarray, clip: np.ndarray) -> np.ndarray:
+    """Clip convex polygon ``subject`` by convex polygon ``clip``.
+
+    Sutherland-Hodgman.  Both polygons are (N, 2) vertex arrays; winding
+    order is normalized internally.  Returns the intersection polygon as an
+    (M, 2) array (possibly empty).
+    """
+    subject = ensure_counterclockwise(subject)
+    clip = ensure_counterclockwise(clip)
+    output = list(subject)
+    for i in range(len(clip)):
+        if not output:
+            break
+        edge_start = clip[i]
+        edge_end = clip[(i + 1) % len(clip)]
+        edge = edge_end - edge_start
+        input_pts = output
+        output = []
+
+        def inside(p):
+            # Left of (or on) the directed clip edge for CCW winding.
+            return edge[0] * (p[1] - edge_start[1]) - edge[1] * (p[0] - edge_start[0]) >= -1e-12
+
+        def intersect(p1, p2):
+            d = p2 - p1
+            denom = edge[0] * d[1] - edge[1] * d[0]
+            if abs(denom) < 1e-15:
+                return p2  # parallel: fall back to the endpoint
+            t = (edge[0] * (p1[1] - edge_start[1])
+                 - edge[1] * (p1[0] - edge_start[0])) / -denom
+            return p1 + t * d
+
+        for j in range(len(input_pts)):
+            current = np.asarray(input_pts[j], dtype=float)
+            previous = np.asarray(input_pts[j - 1], dtype=float)
+            if inside(current):
+                if not inside(previous):
+                    output.append(intersect(previous, current))
+                output.append(current)
+            elif inside(previous):
+                output.append(intersect(previous, current))
+    if not output:
+        return np.empty((0, 2))
+    return np.asarray(output, dtype=float)
+
+
+def convex_hull(points: np.ndarray) -> np.ndarray:
+    """Convex hull via Andrew's monotone chain; returns CCW vertices.
+
+    Collinear points on the hull boundary are dropped.  Degenerate inputs
+    (fewer than 3 distinct points) return the distinct points themselves.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected (N, 2) points, got {points.shape}")
+    pts = np.unique(points, axis=0)
+    if len(pts) <= 2:
+        return pts
+    # np.unique sorts lexicographically already (by x then y).
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[np.ndarray] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    return np.asarray(hull, dtype=float)
+
+
+def minimum_area_rectangle(points: np.ndarray) -> tuple[np.ndarray, float, float, float]:
+    """Minimum-area oriented bounding rectangle (rotating calipers).
+
+    The optimal rectangle has one side collinear with a convex-hull edge,
+    so trying every hull edge direction is exact.
+
+    Args:
+        points: (N, 2) points, N >= 1.
+
+    Returns:
+        ``(center, length, width, angle)`` with ``length >= width`` and
+        ``angle`` the direction of the length axis in radians.  Degenerate
+        inputs (collinear / single point) return zero-extent rectangles.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2 or len(points) == 0:
+        raise ValueError(f"expected non-empty (N, 2) points, got {points.shape}")
+    hull = convex_hull(points)
+    if len(hull) == 1:
+        return hull[0].copy(), 0.0, 0.0, 0.0
+    if len(hull) == 2:
+        delta = hull[1] - hull[0]
+        length = float(np.linalg.norm(delta))
+        return (hull.mean(axis=0), length, 0.0,
+                float(np.arctan2(delta[1], delta[0])))
+
+    edges = np.diff(np.vstack([hull, hull[:1]]), axis=0)
+    angles = np.unique(np.mod(np.arctan2(edges[:, 1], edges[:, 0]), np.pi))
+    best = None
+    for angle in angles:
+        c, s = np.cos(angle), np.sin(angle)
+        rot = np.array([[c, s], [-s, c]])  # rotate by -angle
+        projected = hull @ rot.T
+        mins = projected.min(axis=0)
+        maxs = projected.max(axis=0)
+        extents = maxs - mins
+        area = float(extents[0] * extents[1])
+        if best is None or area < best[0]:
+            center_local = (mins + maxs) / 2.0
+            center = rot.T @ center_local
+            best = (area, center, float(extents[0]), float(extents[1]),
+                    float(angle))
+    _, center, ext_a, ext_b, angle = best
+    if ext_a >= ext_b:
+        return center, ext_a, ext_b, angle
+    return center, ext_b, ext_a, float(np.mod(angle + np.pi / 2.0, np.pi))

@@ -1,0 +1,130 @@
+"""Least-squares rigid transform estimation (Kabsch / Umeyama).
+
+These are the "standard geometric operations" Algorithm 1 of the paper
+delegates to a CV library: given matched source and destination point sets,
+find the rigid transform minimizing the sum of squared residuals.  They are
+used as the model estimator inside RANSAC (minimal 2-point samples) and as
+the final refinement over all inliers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.se2 import SE2
+from repro.geometry.se3 import SE3
+
+__all__ = ["kabsch_2d", "kabsch_3d", "umeyama_2d"]
+
+
+def _validate_pair(src: np.ndarray, dst: np.ndarray, dim: int,
+                   min_points: int) -> tuple[np.ndarray, np.ndarray]:
+    src = np.asarray(src, dtype=float)
+    dst = np.asarray(dst, dtype=float)
+    if src.shape != dst.shape:
+        raise ValueError(
+            f"source/destination shapes differ: {src.shape} vs {dst.shape}")
+    if src.ndim != 2 or src.shape[1] != dim:
+        raise ValueError(f"expected (N, {dim}) arrays, got {src.shape}")
+    if src.shape[0] < min_points:
+        raise ValueError(
+            f"need at least {min_points} correspondences, got {src.shape[0]}")
+    return src, dst
+
+
+def kabsch_2d(src: np.ndarray, dst: np.ndarray,
+              weights: np.ndarray | None = None) -> SE2:
+    """Best rigid SE(2) transform mapping ``src`` onto ``dst``.
+
+    Minimizes ``sum_i w_i * ||R @ src_i + t - dst_i||^2`` with ``det(R)=+1``
+    (no reflection, no scale).
+
+    Args:
+        src: (N, 2) source points, N >= 2 (N >= 1 works for pure translation
+            but rotation is then unconstrained and fixed to 0).
+        dst: (N, 2) destination points.
+        weights: optional non-negative per-correspondence weights.
+
+    Returns:
+        The estimated :class:`SE2`.
+    """
+    src, dst = _validate_pair(src, dst, dim=2, min_points=1)
+    if weights is None:
+        weights = np.ones(len(src))
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(src),):
+            raise ValueError("weights must be one scalar per correspondence")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    w = weights / total
+
+    src_mean = w @ src
+    dst_mean = w @ dst
+    src_c = src - src_mean
+    dst_c = dst - dst_mean
+
+    # Closed-form 2-D rotation: theta = atan2(sum w (x×x'), sum w (x·x')).
+    cross = float(np.sum(w * (src_c[:, 0] * dst_c[:, 1] - src_c[:, 1] * dst_c[:, 0])))
+    dot = float(np.sum(w * (src_c[:, 0] * dst_c[:, 0] + src_c[:, 1] * dst_c[:, 1])))
+    if cross == 0.0 and dot == 0.0:
+        theta = 0.0  # degenerate (single point / coincident points)
+    else:
+        theta = float(np.arctan2(cross, dot))
+
+    c, s = np.cos(theta), np.sin(theta)
+    rot = np.array([[c, -s], [s, c]])
+    t = dst_mean - rot @ src_mean
+    return SE2(theta, float(t[0]), float(t[1]))
+
+
+def umeyama_2d(src: np.ndarray, dst: np.ndarray,
+               with_scale: bool = False) -> tuple[SE2, float]:
+    """Umeyama alignment; optionally estimates a uniform scale.
+
+    Returns:
+        ``(transform, scale)`` where ``transform`` maps *scaled* source
+        points onto destinations: ``dst ~= R @ (scale * src) + t``.
+        With ``with_scale=False`` the scale is fixed at 1 and the result
+        matches :func:`kabsch_2d`.
+    """
+    src, dst = _validate_pair(src, dst, dim=2, min_points=2)
+    src_mean = src.mean(axis=0)
+    dst_mean = dst.mean(axis=0)
+    src_c = src - src_mean
+    dst_c = dst - dst_mean
+
+    cov = dst_c.T @ src_c / len(src)
+    u, d, vt = np.linalg.svd(cov)
+    sign = np.ones(2)
+    if np.linalg.det(u) * np.linalg.det(vt) < 0:
+        sign[-1] = -1.0
+    rot = u @ np.diag(sign) @ vt
+
+    if with_scale:
+        var_src = float((src_c ** 2).sum() / len(src))
+        if var_src <= 0:
+            raise ValueError("degenerate source points: zero variance")
+        scale = float((d * sign).sum() / var_src)
+    else:
+        scale = 1.0
+    t = dst_mean - scale * rot @ src_mean
+    return SE2.from_rotation_translation(rot, t), scale
+
+
+def kabsch_3d(src: np.ndarray, dst: np.ndarray) -> SE3:
+    """Best rigid SE(3) transform mapping ``src`` onto ``dst`` (SVD Kabsch)."""
+    src, dst = _validate_pair(src, dst, dim=3, min_points=3)
+    src_mean = src.mean(axis=0)
+    dst_mean = dst.mean(axis=0)
+    cov = (dst - dst_mean).T @ (src - src_mean)
+    u, _, vt = np.linalg.svd(cov)
+    sign = np.eye(3)
+    if np.linalg.det(u @ vt) < 0:
+        sign[2, 2] = -1.0
+    rot = u @ sign @ vt
+    t = dst_mean - rot @ src_mean
+    return SE3.from_rotation_translation(rot, t)

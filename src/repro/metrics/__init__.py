@@ -1,0 +1,26 @@
+"""Evaluation metrics: pose errors, distribution summaries, AP."""
+
+from repro.metrics.aggregation import (
+    Cdf,
+    bin_by,
+    boxplot_stats,
+    percentile_summary,
+)
+from repro.metrics.average_precision import (
+    APResult,
+    average_precision,
+    match_detections,
+)
+from repro.metrics.pose_error import PoseErrors, pose_errors
+
+__all__ = [
+    "APResult",
+    "Cdf",
+    "PoseErrors",
+    "average_precision",
+    "bin_by",
+    "boxplot_stats",
+    "match_detections",
+    "percentile_summary",
+    "pose_errors",
+]

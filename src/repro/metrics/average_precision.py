@@ -1,0 +1,120 @@
+"""Average Precision at a BEV IoU threshold (Table I metric).
+
+Standard single-class AP: detections across all frames are pooled, sorted
+by confidence, greedily matched to ground truth (each GT box claims at
+most one detection, highest-confidence first), and AP is the area under
+the all-point-interpolated precision-recall curve.  Matching uses rotated
+BEV IoU, the convention of the V2V4Real benchmark the paper evaluates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.boxes.box import Box2D
+from repro.boxes.iou import iou_matrix
+
+__all__ = ["APResult", "match_detections", "average_precision"]
+
+
+@dataclass(frozen=True)
+class APResult:
+    """AP plus the underlying PR curve.
+
+    Attributes:
+        ap: average precision in [0, 1] (NaN with zero ground truth).
+        precision: precision at each detection rank.
+        recall: recall at each detection rank.
+        num_ground_truth: pooled GT count.
+        num_detections: pooled detection count.
+    """
+
+    ap: float
+    precision: np.ndarray
+    recall: np.ndarray
+    num_ground_truth: int
+    num_detections: int
+
+    @property
+    def ap_percent(self) -> float:
+        """AP scaled to the paper's 0-100 convention."""
+        return self.ap * 100.0
+
+
+def match_detections(detections: list[Box2D], scores,
+                     ground_truth: list[Box2D],
+                     iou_threshold: float) -> np.ndarray:
+    """Greedy confidence-ordered matching for one frame.
+
+    Returns:
+        Boolean array over detections: True = true positive.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if len(detections) != len(scores):
+        raise ValueError("detections and scores must align")
+    tp = np.zeros(len(detections), dtype=bool)
+    if not detections or not ground_truth:
+        return tp
+    ious = iou_matrix(detections, ground_truth)
+    taken = np.zeros(len(ground_truth), dtype=bool)
+    for det_idx in np.argsort(-scores, kind="stable"):
+        best_gt = -1
+        best_iou = iou_threshold
+        for gt_idx in range(len(ground_truth)):
+            if taken[gt_idx]:
+                continue
+            if ious[det_idx, gt_idx] >= best_iou:
+                best_iou = ious[det_idx, gt_idx]
+                best_gt = gt_idx
+        if best_gt >= 0:
+            taken[best_gt] = True
+            tp[det_idx] = True
+    return tp
+
+
+def average_precision(frames: list[tuple[list[Box2D], np.ndarray, list[Box2D]]],
+                      iou_threshold: float = 0.5) -> APResult:
+    """Pool frames and compute AP.
+
+    Args:
+        frames: per-frame ``(detections, scores, ground_truth)`` triples;
+            all boxes in a common evaluation frame.
+        iou_threshold: BEV IoU for a detection to count as a true
+            positive (paper: 0.5 and 0.7).
+
+    Returns:
+        An :class:`APResult`.
+    """
+    if not (0 < iou_threshold <= 1):
+        raise ValueError("iou_threshold must be in (0, 1]")
+    all_scores: list[float] = []
+    all_tp: list[bool] = []
+    total_gt = 0
+    for detections, scores, ground_truth in frames:
+        scores = np.asarray(scores, dtype=float)
+        tp = match_detections(detections, scores, ground_truth,
+                              iou_threshold)
+        all_scores.extend(scores.tolist())
+        all_tp.extend(tp.tolist())
+        total_gt += len(ground_truth)
+
+    n_det = len(all_scores)
+    if total_gt == 0:
+        return APResult(float("nan"), np.empty(0), np.empty(0), 0, n_det)
+    if n_det == 0:
+        return APResult(0.0, np.empty(0), np.empty(0), total_gt, 0)
+
+    order = np.argsort(-np.asarray(all_scores), kind="stable")
+    tp_sorted = np.asarray(all_tp)[order]
+    cum_tp = np.cumsum(tp_sorted)
+    ranks = np.arange(1, n_det + 1)
+    precision = cum_tp / ranks
+    recall = cum_tp / total_gt
+
+    # All-point interpolation: precision envelope integrated over recall.
+    envelope = np.maximum.accumulate(precision[::-1])[::-1]
+    recall_padded = np.concatenate([[0.0], recall])
+    ap = float(np.sum(np.diff(recall_padded) * envelope))
+    return APResult(ap, precision, recall, total_gt, n_det)

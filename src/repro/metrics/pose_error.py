@@ -1,0 +1,44 @@
+"""Pose error metrics (paper Sec. V-A).
+
+Translation error is the Euclidean distance between estimated and
+ground-truth planar translations; rotation error is the absolute yaw
+difference in degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.se2 import SE2
+
+__all__ = ["PoseErrors", "pose_errors"]
+
+
+@dataclass(frozen=True)
+class PoseErrors:
+    """Errors of one pose estimate against ground truth.
+
+    Attributes:
+        translation: Euclidean error on (t_x, t_y), meters.
+        rotation_deg: absolute yaw error, degrees.
+    """
+
+    translation: float
+    rotation_deg: float
+
+    def within(self, max_translation: float = 1.0,
+               max_rotation_deg: float = 1.0) -> bool:
+        """The paper's headline accuracy test (< 1 m and < 1 degree)."""
+        return (self.translation < max_translation
+                and self.rotation_deg < max_rotation_deg)
+
+
+def pose_errors(estimate: SE2, ground_truth: SE2) -> PoseErrors:
+    """Compute :class:`PoseErrors` for a planar pose estimate."""
+    return PoseErrors(
+        translation=estimate.translation_distance(ground_truth),
+        rotation_deg=float(np.degrees(
+            estimate.rotation_distance(ground_truth))),
+    )

@@ -1,0 +1,5 @@
+"""Pose corruption models."""
+
+from repro.noise.pose_noise import PoseNoiseModel, add_pose_noise
+
+__all__ = ["PoseNoiseModel", "add_pose_noise"]

@@ -1,0 +1,35 @@
+"""Point-cloud container and operations.
+
+Wraps the raw ``(N, 3)`` float arrays produced by the lidar simulator with
+the transformations the pipeline needs (viewpoint changes, range cropping,
+ground removal, voxel downsampling) and the self-motion-distortion model
+that motivates the paper's second alignment stage.
+"""
+
+from repro.pointcloud.accumulate import accumulate_scans
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.distortion import (
+    MotionState,
+    apply_self_motion_distortion,
+    compensate_self_motion_distortion,
+)
+from repro.pointcloud.ops import (
+    crop_box,
+    crop_range,
+    merge_clouds,
+    remove_ground,
+    voxel_downsample,
+)
+
+__all__ = [
+    "MotionState",
+    "PointCloud",
+    "accumulate_scans",
+    "apply_self_motion_distortion",
+    "compensate_self_motion_distortion",
+    "crop_box",
+    "crop_range",
+    "merge_clouds",
+    "remove_ground",
+    "voxel_downsample",
+]

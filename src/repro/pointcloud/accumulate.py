@@ -1,0 +1,52 @@
+"""Scan accumulation into local submaps.
+
+BVMatch [27] — the source of the paper's BV matching machinery — matches
+*submaps* (several sweeps fused with odometry), not single scans; density
+at range is what a single sweep lacks.  :func:`accumulate_scans` builds
+such a submap from consecutive scans plus per-scan odometry poses, the
+basis of the submap extension study
+(:mod:`repro.experiments.submap_study`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.se2 import SE2
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.ops import merge_clouds, voxel_downsample
+
+__all__ = ["accumulate_scans"]
+
+
+def accumulate_scans(clouds: list[PointCloud], poses: list[SE2],
+                     reference_index: int = -1,
+                     voxel_size: float | None = 0.2) -> PointCloud:
+    """Fuse consecutive scans into the reference scan's frame.
+
+    Args:
+        clouds: scans, each in its own sensor frame.
+        poses: each scan's sensor pose in one common (odometry) frame —
+            only *relative* poses matter, so dead-reckoned odometry
+            works; absolute drift cancels.
+        reference_index: which scan's frame the submap is expressed in
+            (default: the latest).
+        voxel_size: optional deduplication voxel (None disables).
+
+    Returns:
+        The accumulated submap as one :class:`PointCloud` (timestamps and
+        labels survive when every input carries them).
+    """
+    if len(clouds) != len(poses):
+        raise ValueError("need one pose per cloud")
+    if not clouds:
+        raise ValueError("need at least one cloud")
+    reference = poses[reference_index]
+    moved = []
+    for cloud, pose in zip(clouds, poses):
+        relative = reference.inverse() @ pose
+        moved.append(cloud.transform(relative))
+    submap = merge_clouds(*moved)
+    if voxel_size is not None and len(submap):
+        submap = voxel_downsample(submap, voxel_size)
+    return submap

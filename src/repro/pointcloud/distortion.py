@@ -1,0 +1,159 @@
+"""Self-motion distortion model (paper Section IV-B).
+
+A spinning lidar needs a full sweep period ``T`` to cover 360 degrees of
+azimuth.  While it sweeps, the vehicle keeps moving, so returns captured at
+different azimuths are measured from slightly different sensor poses — yet
+the scan is stored as if every point were seen from one reference pose.
+The resulting warp is the *self-motion distortion* that limits stage-1
+accuracy and motivates BB-Align's stage-2 box alignment.
+
+This module makes the effect explicit and reproducible:
+
+* :func:`apply_self_motion_distortion` warps an ideal (instantaneous) scan
+  the way a moving sensor would record it.
+* :func:`compensate_self_motion_distortion` inverts the warp given the
+  true motion — the classical odometry-based fix the paper describes as
+  computationally expensive; we provide it as a reference/oracle.
+
+Convention: the scan's reference pose is the sensor pose at sweep start
+(``t = 0``); a point with timestamp ``t`` (fraction of the sweep in
+``[0, 1)``) was actually measured from the pose the sensor reaches after
+moving for ``t * T`` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.se2 import SE2
+from repro.pointcloud.cloud import PointCloud
+
+__all__ = ["MotionState", "apply_self_motion_distortion",
+           "compensate_self_motion_distortion"]
+
+
+@dataclass(frozen=True)
+class MotionState:
+    """Planar motion of the sensor during a sweep, in the sensor frame.
+
+    Attributes:
+        velocity_x: forward velocity (m/s).
+        velocity_y: lateral velocity (m/s).
+        yaw_rate: rotation rate (rad/s), positive counter-clockwise.
+    """
+
+    velocity_x: float = 0.0
+    velocity_y: float = 0.0
+    yaw_rate: float = 0.0
+
+    @property
+    def speed(self) -> float:
+        return float(np.hypot(self.velocity_x, self.velocity_y))
+
+    def pose_at(self, elapsed_seconds: float) -> SE2:
+        """Sensor pose after ``elapsed_seconds`` of constant-twist motion.
+
+        Uses the exact constant-twist (unicycle) integral, falling back to
+        the straight-line limit when the yaw rate is negligible.
+        """
+        t = float(elapsed_seconds)
+        w = self.yaw_rate
+        vx, vy = self.velocity_x, self.velocity_y
+        if abs(w) < 1e-9:
+            return SE2(w * t, vx * t, vy * t)
+        theta = w * t
+        sin_t, cos_t = np.sin(theta), np.cos(theta)
+        # Integral of R(w s) @ [vx, vy] ds from 0 to t.
+        tx = (vx * sin_t - vy * (1.0 - cos_t)) / w
+        ty = (vx * (1.0 - cos_t) + vy * sin_t) / w
+        return SE2(theta, tx, ty)
+
+
+def _pose_batch(motion: MotionState, times: np.ndarray,
+                scan_duration: float) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :meth:`MotionState.pose_at` over an array of timestamps.
+
+    Returns ``(thetas, translations)`` with shapes (N,) and (N, 2).
+    """
+    t = np.asarray(times, dtype=float) * scan_duration
+    w = motion.yaw_rate
+    vx, vy = motion.velocity_x, motion.velocity_y
+    theta = w * t
+    if abs(w) < 1e-9:
+        trans = np.stack([vx * t, vy * t], axis=1)
+    else:
+        sin_t, cos_t = np.sin(theta), np.cos(theta)
+        tx = (vx * sin_t - vy * (1.0 - cos_t)) / w
+        ty = (vx * (1.0 - cos_t) + vy * sin_t) / w
+        trans = np.stack([tx, ty], axis=1)
+    return theta, trans
+
+
+def _timestamps_from_azimuth(points: np.ndarray) -> np.ndarray:
+    """Derive sweep timestamps from point azimuths.
+
+    The sweep starts at azimuth ``-pi`` (behind the vehicle) and rotates
+    counter-clockwise, so ``t = (azimuth + pi) / (2 pi)``.
+    """
+    azimuth = np.arctan2(points[:, 1], points[:, 0])
+    return (azimuth + np.pi) / (2.0 * np.pi)
+
+
+def apply_self_motion_distortion(cloud: PointCloud, motion: MotionState,
+                                 scan_duration: float = 0.1) -> PointCloud:
+    """Warp an ideal scan into what a moving sensor would record.
+
+    Args:
+        cloud: ideal scan in the reference (sweep-start) sensor frame.  If
+            ``cloud.timestamps`` is None, timestamps are derived from point
+            azimuths (one full CCW sweep starting behind the vehicle).
+        motion: the sensor's constant twist during the sweep.
+        scan_duration: sweep period in seconds (0.1 s = 10 Hz lidar).
+
+    Returns:
+        The distorted cloud, carrying the per-point timestamps used.
+    """
+    if scan_duration < 0:
+        raise ValueError("scan_duration must be non-negative")
+    if len(cloud) == 0:
+        return cloud
+    timestamps = (cloud.timestamps if cloud.timestamps is not None
+                  else _timestamps_from_azimuth(cloud.points))
+    thetas, trans = _pose_batch(motion, timestamps, scan_duration)
+
+    # The true point p (reference frame) is seen from pose X(t); the sensor
+    # records X(t)^-1 p but stores it as if taken from the reference pose.
+    cos_t, sin_t = np.cos(-thetas), np.sin(-thetas)
+    shifted = cloud.points[:, :2] - trans
+    distorted_xy = np.empty_like(shifted)
+    distorted_xy[:, 0] = cos_t * shifted[:, 0] - sin_t * shifted[:, 1]
+    distorted_xy[:, 1] = sin_t * shifted[:, 0] + cos_t * shifted[:, 1]
+    new_points = cloud.points.copy()
+    new_points[:, :2] = distorted_xy
+    return PointCloud(new_points, timestamps, cloud.labels)
+
+
+def compensate_self_motion_distortion(cloud: PointCloud, motion: MotionState,
+                                      scan_duration: float = 0.1) -> PointCloud:
+    """Invert :func:`apply_self_motion_distortion` given the true motion.
+
+    Requires per-point timestamps (the distorted cloud carries them).
+    """
+    if len(cloud) == 0:
+        return cloud
+    if cloud.timestamps is None:
+        raise ValueError(
+            "compensation requires per-point timestamps; "
+            "apply_self_motion_distortion records them")
+    thetas, trans = _pose_batch(motion, cloud.timestamps, scan_duration)
+    cos_t, sin_t = np.cos(thetas), np.sin(thetas)
+    xy = cloud.points[:, :2]
+    rotated = np.empty_like(xy)
+    rotated[:, 0] = cos_t * xy[:, 0] - sin_t * xy[:, 1]
+    rotated[:, 1] = sin_t * xy[:, 0] + cos_t * xy[:, 1]
+    restored = rotated + trans
+    new_points = cloud.points.copy()
+    new_points[:, :2] = restored
+    return PointCloud(new_points, cloud.timestamps, cloud.labels)

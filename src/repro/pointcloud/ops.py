@@ -1,0 +1,81 @@
+"""Stateless point-cloud operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pointcloud.cloud import PointCloud
+
+__all__ = ["crop_range", "crop_box", "remove_ground", "voxel_downsample",
+           "merge_clouds"]
+
+
+def crop_range(cloud: PointCloud, max_range: float,
+               use_xy_only: bool = True) -> PointCloud:
+    """Keep points within ``max_range`` of the origin.
+
+    ``use_xy_only`` measures range on the ground plane, matching the square
+    BV-image region ``[-R, R]^2`` of the paper's Eq. (4) setup (the square
+    crop itself happens at projection time; this is the circular sensor
+    range limit).
+    """
+    if max_range <= 0:
+        raise ValueError("max_range must be positive")
+    coords = cloud.xy if use_xy_only else cloud.points
+    dist = np.linalg.norm(coords, axis=1)
+    return cloud.select(dist <= max_range)
+
+
+def crop_box(cloud: PointCloud, x_limits: tuple[float, float],
+             y_limits: tuple[float, float],
+             z_limits: tuple[float, float] | None = None) -> PointCloud:
+    """Keep points inside an axis-aligned box."""
+    pts = cloud.points
+    mask = ((pts[:, 0] >= x_limits[0]) & (pts[:, 0] <= x_limits[1])
+            & (pts[:, 1] >= y_limits[0]) & (pts[:, 1] <= y_limits[1]))
+    if z_limits is not None:
+        mask &= (pts[:, 2] >= z_limits[0]) & (pts[:, 2] <= z_limits[1])
+    return cloud.select(mask)
+
+
+def remove_ground(cloud: PointCloud, ground_height: float = 0.3) -> PointCloud:
+    """Drop points at or below ``ground_height`` above the ground plane.
+
+    The height-map BV projection already suppresses ground returns (tall
+    structure dominates each cell), but removing them first reduces work
+    and mirrors the paper's observation that ground hits are detrimental
+    to matching.
+    """
+    return cloud.select(cloud.z > ground_height)
+
+
+def voxel_downsample(cloud: PointCloud, voxel_size: float) -> PointCloud:
+    """Keep one representative point per occupied voxel.
+
+    The kept point is the first (lowest index) point falling in each voxel,
+    which preserves timestamps/labels without averaging artifacts.
+    """
+    if voxel_size <= 0:
+        raise ValueError("voxel_size must be positive")
+    if len(cloud) == 0:
+        return cloud
+    keys = np.floor(cloud.points / voxel_size).astype(np.int64)
+    _, first_idx = np.unique(keys, axis=0, return_index=True)
+    return cloud.select(np.sort(first_idx))
+
+
+def merge_clouds(*clouds: PointCloud) -> PointCloud:
+    """Concatenate clouds; optional channels survive only when present in all."""
+    clouds = [c for c in clouds if len(c) > 0]
+    if not clouds:
+        return PointCloud.empty()
+    points = np.vstack([c.points for c in clouds])
+    if all(c.timestamps is not None for c in clouds):
+        timestamps = np.concatenate([c.timestamps for c in clouds])
+    else:
+        timestamps = None
+    if all(c.labels is not None for c in clouds):
+        labels = np.concatenate([c.labels for c in clouds])
+    else:
+        labels = None
+    return PointCloud(points, timestamps, labels)

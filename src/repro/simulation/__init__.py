@@ -1,0 +1,59 @@
+"""The V2V4Real-substitute simulation stack.
+
+V2V4Real (the paper's dataset) is real-world data we cannot ship; this
+package generates the synthetic equivalent the reproduction runs on:
+
+* :mod:`repro.simulation.world` — procedural street worlds (buildings,
+  trees, poles, parked and moving vehicles) in several scenario flavors.
+* :mod:`repro.simulation.lidar` — a spinning multi-channel lidar
+  ray-caster with range noise, dropout and self-motion distortion.
+* :mod:`repro.simulation.scenario` — two-vehicle frame-pair construction
+  with ground-truth relative poses and per-vehicle ground-truth boxes.
+* :mod:`repro.simulation.dataset` — a frame-pair dataset API with the
+  paper's selection rule (pairs sharing at least two commonly observed
+  vehicles).
+"""
+
+from repro.simulation.dataset import DatasetConfig, FrameRecord, V2VDatasetSim
+from repro.simulation.lidar import LidarConfig, simulate_scan
+from repro.simulation.scenario import (
+    FramePair,
+    ScenarioConfig,
+    make_frame_pair,
+    observe_frame,
+)
+from repro.simulation.multi import MultiFrame, MultiScenarioConfig, make_multi_frame
+from repro.simulation.sequence import DriveSequence, SequenceConfig
+from repro.simulation.world import (
+    Building,
+    Pole,
+    SimVehicle,
+    Tree,
+    WorldConfig,
+    WorldModel,
+    generate_world,
+)
+
+__all__ = [
+    "Building",
+    "DatasetConfig",
+    "DriveSequence",
+    "FramePair",
+    "FrameRecord",
+    "LidarConfig",
+    "MultiFrame",
+    "MultiScenarioConfig",
+    "Pole",
+    "ScenarioConfig",
+    "SequenceConfig",
+    "SimVehicle",
+    "Tree",
+    "V2VDatasetSim",
+    "WorldConfig",
+    "WorldModel",
+    "generate_world",
+    "make_frame_pair",
+    "make_multi_frame",
+    "observe_frame",
+    "simulate_scan",
+]

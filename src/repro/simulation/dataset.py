@@ -1,0 +1,159 @@
+"""The V2V4Real-substitute dataset API.
+
+V2V4Real contributes 20K frames of real two-vehicle driving; the paper
+selects the ~12K frames (6,145 pairs) where the two cars commonly observe
+at least two vehicles.  :class:`V2VDatasetSim` reproduces that interface:
+a deterministic, lazily-generated sequence of frame pairs spanning a mix
+of scenario kinds, inter-vehicle distances and traffic densities, with
+the same selection rule applied.
+
+Pairs are generated independently from per-index seeds, so ``dataset[7]``
+is identical no matter which other indices were touched — a property the
+tests rely on and which makes experiment slices reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.simulation.scenario import FramePair, ScenarioConfig, make_frame_pair
+from repro.simulation.world import ScenarioKind, WorldConfig
+
+__all__ = ["DatasetConfig", "FrameRecord", "V2VDatasetSim"]
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Dataset composition.
+
+    Attributes:
+        num_pairs: dataset length.
+        seed: master seed; per-pair seeds derive from it.
+        distance_range: inter-vehicle distances sampled log-uniformly in
+            this range (more mass at short range, like real driving).
+        scenario_mix: sampling weights per scenario kind.
+        min_common_vehicles: the paper's selection rule — keep only pairs
+            with at least this many commonly observed vehicles (set 0 to
+            disable and emit every generated pair).
+        max_attempts: resampling budget per index before relaxing the
+            selection rule for that pair.
+        base_scenario: template scenario config (lidar models, speeds...).
+    """
+
+    num_pairs: int = 100
+    seed: int = 2024
+    distance_range: tuple[float, float] = (10.0, 100.0)
+    scenario_mix: dict[ScenarioKind, float] = field(default_factory=lambda: {
+        ScenarioKind.URBAN: 0.35,
+        ScenarioKind.SUBURBAN: 0.40,
+        ScenarioKind.HIGHWAY: 0.20,
+        ScenarioKind.OPEN: 0.05,
+    })
+    min_common_vehicles: int = 2
+    max_attempts: int = 5
+    base_scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_pairs < 0:
+            raise ValueError("num_pairs must be >= 0")
+        lo, hi = self.distance_range
+        if not (0 < lo <= hi):
+            raise ValueError("distance_range must satisfy 0 < lo <= hi")
+        if not self.scenario_mix or any(w < 0 for w in
+                                        self.scenario_mix.values()):
+            raise ValueError("scenario_mix needs non-negative weights")
+        if sum(self.scenario_mix.values()) <= 0:
+            raise ValueError("scenario_mix weights must sum to > 0")
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """A dataset entry: the frame pair plus bookkeeping.
+
+    Attributes:
+        index: position in the dataset.
+        pair: the generated :class:`FramePair`.
+        selected: whether the pair met the common-vehicle selection rule
+            (False only when the resampling budget ran out).
+    """
+
+    index: int
+    pair: FramePair
+    selected: bool
+
+
+class V2VDatasetSim:
+    """Deterministic lazily-generated frame-pair dataset.
+
+    Example:
+        >>> from repro.simulation import V2VDatasetSim, DatasetConfig
+        >>> dataset = V2VDatasetSim(DatasetConfig(num_pairs=5))
+        >>> record = dataset[0]          # doctest: +SKIP
+        >>> record.pair.gt_relative      # doctest: +SKIP
+    """
+
+    def __init__(self, config: DatasetConfig | None = None) -> None:
+        self.config = config or DatasetConfig()
+        mix = self.config.scenario_mix
+        self._kinds = list(mix.keys())
+        weights = np.array([mix[k] for k in self._kinds], dtype=float)
+        self._weights = weights / weights.sum()
+
+    def __len__(self) -> int:
+        return self.config.num_pairs
+
+    def __iter__(self) -> Iterator[FrameRecord]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def __getitem__(self, index: int) -> FrameRecord:
+        if not (0 <= index < len(self)):
+            raise IndexError(f"index {index} out of range "
+                             f"[0, {len(self)})")
+        return self._generate(index)
+
+    # ------------------------------------------------------------------
+    def _pair_rng(self, index: int, attempt: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, index, attempt]))
+
+    def _sample_scenario(self, rng: np.random.Generator) -> ScenarioConfig:
+        cfg = self.config
+        kind = self._kinds[int(rng.choice(len(self._kinds),
+                                          p=self._weights))]
+        lo, hi = cfg.distance_range
+        distance = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        world = replace(cfg.base_scenario.world, kind=kind,
+                        override_densities=False)
+        return replace(cfg.base_scenario, world=world, distance=distance)
+
+    def _generate(self, index: int) -> FrameRecord:
+        cfg = self.config
+        pair = None
+        for attempt in range(cfg.max_attempts):
+            rng = self._pair_rng(index, attempt)
+            scenario = self._sample_scenario(rng)
+            pair = make_frame_pair(scenario, rng)
+            if (cfg.min_common_vehicles == 0
+                    or pair.num_common_vehicles >= cfg.min_common_vehicles):
+                return FrameRecord(index, pair, True)
+        assert pair is not None
+        return FrameRecord(index, pair, False)
+
+    # ------------------------------------------------------------------
+    def selection_rate(self, sample: int | None = None) -> float:
+        """Fraction of pairs meeting the selection rule on first attempt
+        — mirrors the paper's 12K-of-20K usable-frame statistic."""
+        cfg = self.config
+        n = len(self) if sample is None else min(sample, len(self))
+        hits = 0
+        for index in range(n):
+            rng = self._pair_rng(index, 0)
+            scenario = self._sample_scenario(rng)
+            pair = make_frame_pair(scenario, rng)
+            if pair.num_common_vehicles >= cfg.min_common_vehicles:
+                hits += 1
+        return hits / max(n, 1)

@@ -1,0 +1,155 @@
+"""Multi-vehicle (K > 2) cooperative scenes.
+
+The paper's framework is pairwise; real V2V networks have several CAVs in
+range.  :func:`make_multi_frame` places K cooperating vehicles along the
+road and scans each one, producing everything the multi-vehicle aligner
+(:mod:`repro.core.multi`) needs: per-vehicle clouds, visibility, and all
+ground-truth pairwise poses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.angles import wrap_to_pi
+from repro.geometry.se2 import SE2
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.distortion import (
+    MotionState,
+    compensate_self_motion_distortion,
+)
+from repro.simulation.lidar import simulate_scan
+from repro.simulation.scenario import (
+    ScenarioConfig,
+    VisibleObject,
+    _clear_area,
+    _partner_vehicle,
+    _visible_objects,
+    replace_world_vehicles,
+)
+from repro.simulation.world import WorldModel, generate_world
+
+__all__ = ["MultiScenarioConfig", "MultiFrame", "make_multi_frame"]
+
+
+@dataclass(frozen=True)
+class MultiScenarioConfig:
+    """K-vehicle scene parameters.
+
+    Attributes:
+        scenario: the base two-vehicle template (world, sensors, noise);
+            the ego uses ``ego_lidar``, every other CAV ``other_lidar``.
+        num_vehicles: cooperating vehicle count (K >= 2).
+        spacing: target along-road spacing between consecutive CAVs.
+        same_direction_prob: per-vehicle direction draw (vehicle 0 always
+            faces forward).
+    """
+
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    num_vehicles: int = 3
+    spacing: float = 25.0
+    same_direction_prob: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.num_vehicles < 2:
+            raise ValueError("num_vehicles must be >= 2")
+        if self.spacing <= 0:
+            raise ValueError("spacing must be positive")
+
+
+@dataclass(frozen=True)
+class MultiFrame:
+    """One synchronized K-vehicle observation.
+
+    Attributes:
+        world: shared world (world frame).
+        poses: per-vehicle planar poses (vehicle 0 = ego/reference).
+        clouds: per-vehicle scans, each in its own frame.
+        motions: per-vehicle twists.
+        visible: per-vehicle ground-truth observations (own frames).
+    """
+
+    world: WorldModel
+    poses: tuple[SE2, ...]
+    clouds: tuple[PointCloud, ...]
+    motions: tuple[MotionState, ...]
+    visible: tuple[tuple[VisibleObject, ...], ...]
+
+    @property
+    def num_vehicles(self) -> int:
+        return len(self.poses)
+
+    def gt_relative(self, target: int, source: int) -> SE2:
+        """Ground-truth transform mapping vehicle ``source``'s frame into
+        vehicle ``target``'s frame."""
+        return self.poses[target].inverse() @ self.poses[source]
+
+
+def make_multi_frame(config: MultiScenarioConfig | None = None,
+                     rng: np.random.Generator | int | None = None) -> MultiFrame:
+    """Generate one K-vehicle frame."""
+    config = config or MultiScenarioConfig()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    scenario = config.scenario
+    world = generate_world(scenario.world, rng)
+    road = world.road
+    half = world.extent
+    lane = scenario.world.road_half_width / 2.0
+
+    k = config.num_vehicles
+    margin = min(config.spacing * k + 20.0, half)
+    base_s = rng.uniform(-half + margin, half - margin)
+
+    poses: list[SE2] = []
+    motions: list[MotionState] = []
+    forwards: list[bool] = []
+    for i in range(k):
+        forward = True if i == 0 \
+            else bool(rng.random() < config.same_direction_prob)
+        s = base_s + i * config.spacing * rng.uniform(0.8, 1.2)
+        lateral = (-lane if forward else lane) \
+            + rng.normal(0.0, scenario.lane_jitter)
+        base = road.pose_at(s, lateral)
+        heading = base.theta if forward else base.theta + np.pi
+        poses.append(SE2(float(wrap_to_pi(
+            heading + rng.normal(0.0, np.deg2rad(4.0)))),
+            base.tx, base.ty))
+        motions.append(MotionState(
+            velocity_x=float(rng.uniform(*scenario.speed_range)),
+            yaw_rate=float(rng.normal(0.0, scenario.yaw_rate_std))))
+        forwards.append(forward)
+
+    world = _clear_area(world, [np.array([p.tx, p.ty]) for p in poses])
+
+    # Every CAV's body is visible to every *other* CAV.
+    bodies = [_partner_vehicle(rng, pose, motion.speed, -(i + 1))
+              for i, (pose, motion) in enumerate(zip(poses, motions))]
+
+    clouds: list[PointCloud] = []
+    visible: list[tuple[VisibleObject, ...]] = []
+    comp_err = scenario.motion_compensation_error
+    for i, (pose, motion) in enumerate(zip(poses, motions)):
+        lidar = scenario.ego_lidar if i == 0 else scenario.other_lidar
+        others = tuple(body for j, body in enumerate(bodies) if j != i)
+        world_i = replace_world_vehicles(world, world.vehicles + others)
+        cloud = simulate_scan(world_i, pose, lidar, rng=rng, motion=motion)
+        if comp_err < 1.0:
+            estimate = MotionState(motion.velocity_x * (1.0 - comp_err),
+                                   motion.velocity_y * (1.0 - comp_err),
+                                   motion.yaw_rate * (1.0 - comp_err))
+            cloud = compensate_self_motion_distortion(
+                cloud, estimate, lidar.scan_duration)
+        residual = MotionState(motion.velocity_x * comp_err,
+                               motion.velocity_y * comp_err,
+                               motion.yaw_rate * comp_err)
+        clouds.append(cloud)
+        visible.append(_visible_objects(
+            cloud, world_i.vehicles, pose, scenario.min_visible_points,
+            -(i + 1), residual, lidar.scan_duration))
+
+    return MultiFrame(world=world, poses=tuple(poses),
+                      clouds=tuple(clouds), motions=tuple(motions),
+                      visible=tuple(visible))

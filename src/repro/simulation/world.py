@@ -1,0 +1,364 @@
+"""Procedural street-world generation.
+
+A world is a flat ground plane populated with the object classes that
+matter to BB-Align: tall static landmarks (building walls, tree crowns,
+poles) that the BV image matching keys on, and vehicles (parked and
+moving) that stage 2 aligns.  Worlds are generated along a straight
+two-lane road on the x-axis — the dominant geometry of the V2V4Real
+drives — with scenario flavors controlling landmark and traffic density.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.boxes.box import Box3D
+from repro.geometry.angles import wrap_to_pi
+from repro.simulation.road import RoadModel, make_road
+
+__all__ = ["Building", "Tree", "Pole", "SimVehicle", "WorldModel",
+           "WorldConfig", "ScenarioKind", "generate_world"]
+
+
+@dataclass(frozen=True)
+class Building:
+    """An axis-oriented rectangular building.
+
+    Attributes:
+        center_x, center_y: footprint center.
+        size_x, size_y: footprint extents.
+        yaw: footprint rotation (radians).
+        height: roof height above ground.
+    """
+
+    center_x: float
+    center_y: float
+    size_x: float
+    size_y: float
+    yaw: float
+    height: float
+
+    def wall_segments(self) -> np.ndarray:
+        """(4, 2, 2) array of wall segments (corner -> next corner)."""
+        half = np.array([[0.5, 0.5], [-0.5, 0.5], [-0.5, -0.5], [0.5, -0.5]])
+        local = half * np.array([self.size_x, self.size_y])
+        c, s = np.cos(self.yaw), np.sin(self.yaw)
+        rot = np.array([[c, -s], [s, c]])
+        corners = local @ rot.T + np.array([self.center_x, self.center_y])
+        return np.stack([corners, np.roll(corners, -1, axis=0)], axis=1)
+
+
+@dataclass(frozen=True)
+class Tree:
+    """A tree: trunk (thin cylinder) plus crown (wide cylinder).
+
+    Attributes:
+        x, y: trunk position.
+        trunk_radius: trunk cylinder radius.
+        crown_radius: crown cylinder radius.
+        crown_base: height where the crown starts.
+        height: total height.
+    """
+
+    x: float
+    y: float
+    trunk_radius: float
+    crown_radius: float
+    crown_base: float
+    height: float
+
+
+@dataclass(frozen=True)
+class Pole:
+    """A utility/light pole — thin, tall, a crisp BV landmark."""
+
+    x: float
+    y: float
+    radius: float
+    height: float
+
+
+@dataclass(frozen=True)
+class SimVehicle:
+    """A vehicle in the world.
+
+    Attributes:
+        box: 3-D bounding box in world coordinates (center z at half
+            height, i.e. the box sits on the ground).
+        velocity: planar speed along the box yaw (m/s); 0 for parked cars.
+        vehicle_id: stable identity for common-car bookkeeping.
+    """
+
+    box: Box3D
+    velocity: float
+    vehicle_id: int
+
+    @property
+    def is_moving(self) -> bool:
+        return abs(self.velocity) > 0.1
+
+
+@dataclass(frozen=True)
+class WorldModel:
+    """Everything the lidar simulator can see.
+
+    ``road`` is the centerline the corridor was generated around (None
+    for hand-built worlds); ``extent`` is half the corridor arc length.
+    """
+
+    buildings: tuple[Building, ...]
+    trees: tuple[Tree, ...]
+    poles: tuple[Pole, ...]
+    vehicles: tuple[SimVehicle, ...]
+    extent: float
+    road: "RoadModel | None" = None
+
+    def vehicle_boxes(self) -> list[Box3D]:
+        return [v.box for v in self.vehicles]
+
+
+class ScenarioKind(str, enum.Enum):
+    """Scenario flavors mirroring the V2V4Real drive mix."""
+
+    URBAN = "urban"          # dense buildings and traffic
+    SUBURBAN = "suburban"    # moderate landmarks, light traffic
+    HIGHWAY = "highway"      # sparse landmarks (the hard case), fast traffic
+    OPEN = "open"            # almost no landmarks — recovery should fail
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Generation knobs.
+
+    Densities are per 100 m of road corridor (both sides combined).
+
+    Attributes:
+        kind: scenario flavor; presets override densities unless the
+            caller sets ``override_densities``.
+        corridor_length: total road length to populate (meters).
+        road_half_width: lane center offset from the road axis.
+        building_density: buildings per 100 m.
+        tree_density: trees per 100 m.
+        pole_density: poles per 100 m.
+        parked_density: parked cars per 100 m.
+        traffic_density: moving cars per 100 m.
+        override_densities: use the explicit densities instead of the
+            ``kind`` preset.
+    """
+
+    kind: ScenarioKind = ScenarioKind.SUBURBAN
+    corridor_length: float = 300.0
+    road_half_width: float = 3.5
+    building_density: float = 8.0
+    tree_density: float = 6.0
+    pole_density: float = 2.0
+    parked_density: float = 3.0
+    traffic_density: float = 4.0
+    override_densities: bool = False
+
+    def resolved(self) -> "WorldConfig":
+        """Apply the ``kind`` preset unless densities are overridden."""
+        if self.override_densities:
+            return self
+        presets = {
+            ScenarioKind.URBAN: dict(building_density=14.0, tree_density=5.0,
+                                     pole_density=3.0, parked_density=6.0,
+                                     traffic_density=8.0),
+            ScenarioKind.SUBURBAN: dict(building_density=8.0, tree_density=7.0,
+                                        pole_density=2.0, parked_density=3.0,
+                                        traffic_density=4.0),
+            ScenarioKind.HIGHWAY: dict(building_density=1.5, tree_density=3.0,
+                                       pole_density=1.5, parked_density=0.0,
+                                       traffic_density=6.0),
+            ScenarioKind.OPEN: dict(building_density=0.2, tree_density=0.5,
+                                    pole_density=0.3, parked_density=0.0,
+                                    traffic_density=1.0),
+        }
+        values = presets[self.kind]
+        return WorldConfig(kind=self.kind,
+                           corridor_length=self.corridor_length,
+                           road_half_width=self.road_half_width,
+                           override_densities=True, **values)
+
+
+_CAR_LENGTH_RANGE = (4.2, 5.2)
+_CAR_WIDTH_RANGE = (1.8, 2.1)
+_CAR_HEIGHT_RANGE = (1.5, 1.9)
+
+
+def _make_car(rng: np.random.Generator, x: float, y: float, yaw: float,
+              velocity: float, vehicle_id: int) -> SimVehicle:
+    length = rng.uniform(*_CAR_LENGTH_RANGE)
+    width = rng.uniform(*_CAR_WIDTH_RANGE)
+    height = rng.uniform(*_CAR_HEIGHT_RANGE)
+    box = Box3D(x, y, height / 2.0, length, width, height, yaw)
+    return SimVehicle(box=box, velocity=velocity, vehicle_id=vehicle_id)
+
+
+def generate_world(config: WorldConfig | None = None,
+                   rng: np.random.Generator | int | None = None) -> WorldModel:
+    """Generate a random street world around a curved road.
+
+    The road is a piecewise-constant-curvature centerline through the
+    origin (see :mod:`repro.simulation.road`).  The corridor is split into
+    blocks of ~60-90 m, each with its own density multiplier and building
+    style, so scenery varies along the drive the way real streets do —
+    both properties (curvature and block variation) are what prevents one
+    stretch of road from aliasing onto another during image matching.
+
+    Objects are placed in road coordinates (arc length s, signed lateral
+    offset) and mapped to world coordinates through the centerline frame.
+
+    Args:
+        config: generation parameters (scenario presets applied).
+        rng: generator or seed.
+
+    Returns:
+        A :class:`WorldModel` carrying the generated road.
+    """
+    config = (config or WorldConfig()).resolved()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    road = make_road(length=config.corridor_length, rng=rng)
+    half = config.corridor_length / 2.0
+    scale = config.corridor_length / 100.0
+
+    # Blocks: density and style vary along the corridor.
+    block_len = rng.uniform(55.0, 90.0)
+    n_blocks = int(np.ceil(config.corridor_length / block_len)) + 1
+    block_density = np.exp(rng.normal(0.0, 0.55, size=n_blocks))
+    block_height = rng.uniform(0.6, 1.6, size=n_blocks)
+
+    def block_of(s: float) -> int:
+        return min(int((s + half) / block_len), n_blocks - 1)
+
+    def place(s: float, lateral: float, yaw_jitter: float = 0.0):
+        pose = road.pose_at(s, lateral)
+        return pose.tx, pose.ty, wrap_to_pi(pose.theta + yaw_jitter)
+
+    buildings: list[Building] = []
+    n_buildings = rng.poisson(config.building_density * scale)
+    for _ in range(n_buildings):
+        side = rng.choice([-1.0, 1.0])
+        s_pos = rng.uniform(-half, half)
+        if rng.random() > min(block_density[block_of(s_pos)], 1.6):
+            continue
+        setback = rng.uniform(6.0, 25.0)
+        size_s = rng.uniform(8.0, 28.0)
+        size_n = rng.uniform(6.0, 20.0)
+        lateral = side * (config.road_half_width + setback + size_n / 2.0)
+        x, y, yaw = place(s_pos, lateral, rng.normal(0.0, np.deg2rad(8.0)))
+        height = rng.uniform(4.0, 15.0) * block_height[block_of(s_pos)]
+        main = Building(x, y, size_s, size_n, yaw, height)
+        buildings.append(main)
+        # Facade articulation: annex wings at jittered offsets create the
+        # corner/height-step structure real BV images are full of — and
+        # that keypoint matching needs to break the translational
+        # self-similarity of a bare straight wall.
+        for _ in range(rng.integers(0, 3)):
+            a_s = s_pos + rng.uniform(-size_s / 2.0, size_s / 2.0)
+            a_lat = lateral - side * rng.uniform(0.3, 0.7) * size_n
+            ax, ay, ayaw = place(a_s, a_lat,
+                                 rng.normal(0.0, np.deg2rad(12.0)))
+            buildings.append(Building(ax, ay,
+                                      rng.uniform(3.0, 9.0),
+                                      rng.uniform(3.0, 8.0),
+                                      ayaw, height * rng.uniform(0.4, 0.9)))
+
+    # Fences and free-standing walls: thin, car-height structures along
+    # and across property lines, at many orientations.
+    n_fences = rng.poisson(config.building_density * scale * 0.8)
+    for _ in range(n_fences):
+        side = rng.choice([-1.0, 1.0])
+        s_pos = rng.uniform(-half, half)
+        along_road = rng.random() < 0.5
+        length = rng.uniform(6.0, 25.0)
+        lateral = side * (config.road_half_width + rng.uniform(1.5, 15.0))
+        jitter = (rng.normal(0.0, np.deg2rad(5.0)) if along_road
+                  else rng.normal(np.pi / 2.0, np.deg2rad(5.0)))
+        x, y, yaw = place(s_pos, lateral, jitter)
+        buildings.append(Building(x, y, length, 0.25, yaw,
+                                  rng.uniform(1.4, 2.4)))
+
+    trees: list[Tree] = []
+    n_trees = rng.poisson(config.tree_density * scale)
+    for _ in range(n_trees):
+        side = rng.choice([-1.0, 1.0])
+        s_pos = rng.uniform(-half, half)
+        if rng.random() > min(block_density[block_of(s_pos)], 1.6):
+            continue
+        pt = road.point_at(s_pos, side * (config.road_half_width
+                                          + rng.uniform(2.0, 12.0)))
+        trees.append(Tree(x=float(pt[0]), y=float(pt[1]),
+                          trunk_radius=rng.uniform(0.15, 0.35),
+                          crown_radius=rng.uniform(1.2, 3.0),
+                          crown_base=rng.uniform(1.8, 3.0),
+                          height=rng.uniform(5.0, 12.0)))
+    # Bushes/hedges: low discrete blobs near the road edge.
+    n_bushes = rng.poisson(config.tree_density * scale * 0.8)
+    for _ in range(n_bushes):
+        side = rng.choice([-1.0, 1.0])
+        pt = road.point_at(rng.uniform(-half, half),
+                           side * (config.road_half_width
+                                   + rng.uniform(0.8, 6.0)))
+        trees.append(Tree(x=float(pt[0]), y=float(pt[1]),
+                          trunk_radius=0.1,
+                          crown_radius=rng.uniform(0.5, 1.4),
+                          crown_base=0.0,
+                          height=rng.uniform(0.8, 2.2)))
+
+    poles: list[Pole] = []
+    n_poles = rng.poisson(config.pole_density * scale)
+    for _ in range(n_poles):
+        side = rng.choice([-1.0, 1.0])
+        pt = road.point_at(rng.uniform(-half, half),
+                           side * (config.road_half_width
+                                   + rng.uniform(0.5, 2.0)))
+        poles.append(Pole(x=float(pt[0]), y=float(pt[1]),
+                          radius=rng.uniform(0.1, 0.2),
+                          height=rng.uniform(6.0, 10.0)))
+
+    vehicles: list[SimVehicle] = []
+    vehicle_id = 0
+    n_parked = rng.poisson(config.parked_density * scale)
+    for _ in range(n_parked):
+        side = rng.choice([-1.0, 1.0])
+        s_pos = rng.uniform(-half, half)
+        lateral = side * (config.road_half_width + rng.uniform(0.3, 1.2))
+        jitter = rng.normal(0.0, np.deg2rad(3.0))
+        if side < 0:
+            jitter = jitter + np.pi
+        x, y, yaw = place(s_pos, lateral, jitter)
+        vehicles.append(_make_car(rng, x, y, float(yaw), 0.0, vehicle_id))
+        vehicle_id += 1
+
+    n_moving = rng.poisson(config.traffic_density * scale)
+    lane_offset = config.road_half_width / 2.0
+    for _ in range(n_moving):
+        direction = rng.choice([-1.0, 1.0])
+        s_pos = rng.uniform(-half, half)
+        lateral = -direction * lane_offset  # right-hand traffic
+        jitter = 0.0 if direction > 0 else np.pi
+        x, y, yaw = place(s_pos, lateral, jitter)
+        speed = rng.uniform(5.0, 18.0)
+        vehicles.append(_make_car(rng, x, y, float(yaw),
+                                  float(speed), vehicle_id))
+        vehicle_id += 1
+
+    # Remove vehicle-vehicle overlaps (keep earlier = parked first).
+    kept: list[SimVehicle] = []
+    for vehicle in vehicles:
+        clash = any(
+            np.hypot(vehicle.box.center_x - other.box.center_x,
+                     vehicle.box.center_y - other.box.center_y) < 6.0
+            for other in kept)
+        if not clash:
+            kept.append(vehicle)
+
+    return WorldModel(buildings=tuple(buildings), trees=tuple(trees),
+                      poles=tuple(poles), vehicles=tuple(kept),
+                      extent=half, road=road)

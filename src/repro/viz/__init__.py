@@ -1,0 +1,28 @@
+"""Headless visualization: ASCII and PGM renderers.
+
+No display stack is assumed (or available offline); these renderers
+produce terminal ASCII art for quick inspection and binary PGM images for
+anything that wants a real picture (every image viewer reads PGM).
+Covers the paper's qualitative figures: BV images (Fig. 4 b/e), MIMs
+(Fig. 4 c/f), match visualizations (Fig. 4 g), and BEV scene views with
+boxes (Figs. 1, 5, 6).
+"""
+
+from repro.viz.ascii_art import render_bv_ascii, render_scene_ascii
+from repro.viz.pgm import save_pgm
+from repro.viz.render import (
+    render_bv_image,
+    render_match_image,
+    render_mim_image,
+    render_scene_image,
+)
+
+__all__ = [
+    "render_bv_ascii",
+    "render_bv_image",
+    "render_match_image",
+    "render_mim_image",
+    "render_scene_ascii",
+    "render_scene_image",
+    "save_pgm",
+]

@@ -1,0 +1,76 @@
+"""Terminal ASCII renderers for quick inspection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bev.projection import BVImage
+from repro.simulation.world import WorldModel
+
+__all__ = ["render_bv_ascii", "render_scene_ascii"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def render_bv_ascii(bv: BVImage | np.ndarray, width: int = 80) -> str:
+    """Render a BV image as ASCII art (downsampled to ``width`` columns).
+
+    Row 0 of the image (smallest y) is printed last so +y points up, the
+    usual map orientation.
+    """
+    image = bv.image if isinstance(bv, BVImage) else np.asarray(bv,
+                                                                dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    width = max(4, min(width, image.shape[1]))
+    # Terminal cells are ~2x taller than wide; halve rows to compensate.
+    step = image.shape[1] / width
+    rows = int(image.shape[0] / step / 2)
+    rows = max(rows, 2)
+
+    peak = float(image.max())
+    lines = []
+    for r in range(rows):
+        r0 = int(r * image.shape[0] / rows)
+        r1 = max(int((r + 1) * image.shape[0] / rows), r0 + 1)
+        line = []
+        for c in range(width):
+            c0 = int(c * image.shape[1] / width)
+            c1 = max(int((c + 1) * image.shape[1] / width), c0 + 1)
+            block = image[r0:r1, c0:c1].max()
+            level = 0 if peak <= 0 else int(block / peak * (len(_RAMP) - 1))
+            line.append(_RAMP[level])
+        lines.append("".join(line))
+    return "\n".join(reversed(lines))
+
+
+def render_scene_ascii(world: WorldModel, half_extent: float = 60.0,
+                       width: int = 80,
+                       center: tuple[float, float] = (0.0, 0.0)) -> str:
+    """Top-down ASCII map of a world: B = building, T = tree, p = pole,
+    c = car, # = fence-like thin structure."""
+    height = width // 2
+    grid = np.full((height, width), " ", dtype="<U1")
+
+    def mark(x: float, y: float, char: str) -> None:
+        col = int((x - center[0] + half_extent) / (2 * half_extent) * width)
+        row = int((y - center[1] + half_extent) / (2 * half_extent) * height)
+        if 0 <= row < height and 0 <= col < width:
+            grid[row, col] = char
+
+    for building in world.buildings:
+        char = "#" if min(building.size_x, building.size_y) < 1.0 else "B"
+        for wall in building.wall_segments():
+            n = max(int(np.linalg.norm(wall[1] - wall[0])), 2)
+            for t in np.linspace(0, 1, n):
+                point = wall[0] + t * (wall[1] - wall[0])
+                mark(point[0], point[1], char)
+    for tree in world.trees:
+        mark(tree.x, tree.y, "T")
+    for pole in world.poles:
+        mark(pole.x, pole.y, "p")
+    for vehicle in world.vehicles:
+        mark(vehicle.box.center_x, vehicle.box.center_y, "c")
+    mark(center[0], center[1], "E")
+
+    return "\n".join("".join(row) for row in reversed(grid))

@@ -1,0 +1,28 @@
+"""Binary PGM (P5) writer — the zero-dependency image format."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+__all__ = ["save_pgm"]
+
+
+def save_pgm(image: np.ndarray, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a 2-D array as an 8-bit binary PGM.
+
+    Float images are min-max normalized to 0..255; uint8 images are
+    written as-is.  Returns the written path.
+    """
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    if image.dtype != np.uint8:
+        lo, hi = float(image.min()), float(image.max())
+        scale = 255.0 / (hi - lo) if hi > lo else 0.0
+        image = ((image - lo) * scale).astype(np.uint8)
+    path = pathlib.Path(path)
+    header = f"P5\n{image.shape[1]} {image.shape[0]}\n255\n".encode()
+    path.write_bytes(header + image.tobytes())
+    return path

@@ -1,0 +1,115 @@
+"""Raster renderers (uint8 arrays, savable via :func:`repro.viz.save_pgm`).
+
+These regenerate the paper's qualitative figures from simulation data:
+BV images and MIMs (Fig. 4), side-by-side match visualizations with
+correspondence lines (Fig. 4 g), and BEV scene views with box outlines
+(Figs. 1, 5, 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bev.mim import MIMResult
+from repro.bev.projection import BVImage
+from repro.boxes.box import Box2D
+from repro.features.matching import MatchResult
+from repro.pointcloud.cloud import PointCloud
+
+__all__ = ["render_bv_image", "render_mim_image", "render_match_image",
+           "render_scene_image"]
+
+
+def render_bv_image(bv: BVImage) -> np.ndarray:
+    """BV image as uint8, gamma-lifted so sparse structure is visible."""
+    image = bv.image
+    peak = float(image.max())
+    if peak <= 0:
+        return np.zeros(image.shape, dtype=np.uint8)
+    normalized = np.sqrt(image / peak)  # gamma 0.5
+    return (normalized * 255).astype(np.uint8)
+
+
+def render_mim_image(mim: MIMResult) -> np.ndarray:
+    """MIM as uint8: orientation index mapped over the gray ramp,
+    amplitude-masked so empty regions stay black (Fig. 4 c/f look)."""
+    valid = mim.valid_mask()
+    levels = ((mim.mim.astype(float) + 1.0)
+              / mim.num_orientations * 255.0)
+    image = np.where(valid, levels, 0.0)
+    return image.astype(np.uint8)
+
+
+def _draw_line(image: np.ndarray, p0: np.ndarray, p1: np.ndarray,
+               value: int) -> None:
+    """Bresenham-ish line by dense sampling (good enough for overlays)."""
+    n = int(max(abs(p1[0] - p0[0]), abs(p1[1] - p0[1]), 1)) * 2
+    for t in np.linspace(0.0, 1.0, n):
+        x = int(round(p0[0] + t * (p1[0] - p0[0])))
+        y = int(round(p0[1] + t * (p1[1] - p0[1])))
+        if 0 <= y < image.shape[0] and 0 <= x < image.shape[1]:
+            image[y, x] = value
+
+
+def render_match_image(bv_left: BVImage, bv_right: BVImage,
+                       matches: MatchResult,
+                       inlier_mask: np.ndarray | None = None,
+                       max_lines: int = 60) -> np.ndarray:
+    """Side-by-side BV images with correspondence lines (Fig. 4 g).
+
+    Inlier matches (when a mask is given) draw at full white; outliers at
+    mid gray.  Returns a single uint8 image.
+    """
+    left = render_bv_image(bv_left)
+    right = render_bv_image(bv_right)
+    height = max(left.shape[0], right.shape[0])
+    gap = 8
+    canvas = np.zeros((height, left.shape[1] + gap + right.shape[1]),
+                      dtype=np.uint8)
+    canvas[:left.shape[0], :left.shape[1]] = left
+    canvas[:right.shape[0], left.shape[1] + gap:] = right
+
+    offset = left.shape[1] + gap
+    count = min(len(matches), max_lines)
+    for i in range(count):
+        src = matches.src_xy[i]
+        dst = matches.dst_xy[i] + [offset, 0]
+        is_inlier = bool(inlier_mask[i]) if inlier_mask is not None else True
+        _draw_line(canvas, src, dst, 255 if is_inlier else 96)
+    return canvas
+
+
+def render_scene_image(clouds: list[PointCloud],
+                       boxes: list[list[Box2D]] | None = None,
+                       cell_size: float = 0.4,
+                       half_extent: float = 60.0) -> np.ndarray:
+    """Fused BEV scene view (Figs. 1/5): each cloud gets its own gray
+    level; box outlines draw at full white.
+
+    Args:
+        clouds: point clouds already expressed in one common frame.
+        boxes: per-source box lists (same frame), outlines overlaid.
+        cell_size: raster resolution.
+        half_extent: view covers [-half_extent, half_extent]^2.
+    """
+    size = int(round(2 * half_extent / cell_size))
+    canvas = np.zeros((size, size), dtype=np.uint8)
+    levels = np.linspace(120, 200, max(len(clouds), 1)).astype(np.uint8)
+    for cloud, level in zip(clouds, levels):
+        xy = cloud.xy
+        keep = ((np.abs(xy[:, 0]) < half_extent)
+                & (np.abs(xy[:, 1]) < half_extent))
+        cols = ((xy[keep, 0] + half_extent) / cell_size).astype(int)
+        rows = ((xy[keep, 1] + half_extent) / cell_size).astype(int)
+        np.clip(cols, 0, size - 1, out=cols)
+        np.clip(rows, 0, size - 1, out=rows)
+        canvas[rows, cols] = np.maximum(canvas[rows, cols], level)
+
+    if boxes:
+        for box_list in boxes:
+            for box in box_list:
+                corners = box.corners()
+                pix = (corners + half_extent) / cell_size
+                for k in range(4):
+                    _draw_line(canvas, pix[k], pix[(k + 1) % 4], 255)
+    return canvas

@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+Expensive simulation artifacts (worlds, scans, frame pairs, extracted
+features) are session-scoped: they are deterministic, read-only in every
+test that uses them, and dominate suite runtime if rebuilt per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bv_matching import BVMatcher
+from repro.core.config import BBAlignConfig
+from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
+from repro.simulation.lidar import LidarConfig, simulate_scan
+from repro.simulation.scenario import ScenarioConfig, make_frame_pair
+from repro.simulation.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A deterministic suburban world."""
+    return generate_world(WorldConfig(corridor_length=240.0), rng=42)
+
+
+@pytest.fixture(scope="session")
+def small_scan(small_world):
+    """One lidar scan of the shared world from the origin."""
+    from repro.geometry.se2 import SE2
+    return simulate_scan(small_world, SE2(0.0, 0.0, -1.75),
+                         LidarConfig(), rng=0)
+
+
+@pytest.fixture(scope="session")
+def frame_pair():
+    """A deterministic mid-range frame pair."""
+    return make_frame_pair(ScenarioConfig(distance=25.0), rng=7)
+
+
+@pytest.fixture(scope="session")
+def far_frame_pair():
+    """A deterministic long-range frame pair."""
+    return make_frame_pair(ScenarioConfig(distance=60.0), rng=11)
+
+
+@pytest.fixture(scope="session")
+def bv_matcher():
+    return BVMatcher(BBAlignConfig())
+
+
+@pytest.fixture(scope="session")
+def pair_features(bv_matcher, frame_pair):
+    """Stage-1 features for both vehicles of the shared pair."""
+    ego = bv_matcher.extract_from_cloud(frame_pair.ego_cloud)
+    other = bv_matcher.extract_from_cloud(frame_pair.other_cloud)
+    return ego, other
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 4-pair dataset for dataset-API tests."""
+    return V2VDatasetSim(DatasetConfig(num_pairs=4, seed=99))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

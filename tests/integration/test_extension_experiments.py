@@ -1,0 +1,83 @@
+"""Tiny-scale integration runs of every extension experiment.
+
+The benchmarks run these at measurement scale; here each runs at the
+smallest meaningful size so ``pytest tests/`` exercises every driver's
+full code path and structural contract.
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import format_ablations, run_ablations
+from repro.experiments.icp_study import format_icp_study, run_icp_study
+from repro.experiments.multi_study import (
+    format_multi_study,
+    run_multi_study,
+)
+from repro.experiments.noise_sweep import (
+    format_noise_sweep,
+    run_noise_sweep,
+)
+from repro.experiments.submap_study import (
+    format_submap_study,
+    run_submap_study,
+)
+from repro.experiments.tracking_study import (
+    format_tracking_study,
+    run_tracking_study,
+)
+
+
+class TestAblations:
+    def test_runs_all_variants(self):
+        result = run_ablations(num_pairs=3, seed=5)
+        names = [row.name for row in result.rows]
+        assert names[0] == "full system"
+        assert len(names) == 8
+        for row in result.rows:
+            assert 0.0 <= row.success_rate <= 1.0
+        assert "variant" in format_ablations(result)
+
+
+class TestIcpStudy:
+    def test_structure_and_bandwidth_claim(self):
+        result = run_icp_study(num_pairs=3, seed=5)
+        assert result.icp_bytes_mean > result.bb_bytes_mean
+        assert 0.0 <= result.cold_icp_under_1m <= 1.0
+        assert "ICP" in format_icp_study(result)
+
+
+class TestTrackingStudy:
+    def test_coverage_bounds(self):
+        result = run_tracking_study(num_pairs=1, seed=5,
+                                    frames_per_sequence=4)
+        assert 0.0 <= result.raw_coverage <= 1.0
+        assert 0.0 <= result.tracked_coverage <= 1.0
+        assert "tracker" in format_tracking_study(result)
+
+
+class TestMultiStudy:
+    def test_graph_at_least_direct(self):
+        result = run_multi_study(num_pairs=1, seed=5, num_vehicles=3)
+        assert result.graph_coverage >= result.direct_coverage - 1e-9
+        assert "pose-graph" in format_multi_study(result)
+
+
+class TestSubmapStudy:
+    def test_structure(self):
+        result = run_submap_study(num_pairs=2, seed=5)
+        assert result.num_scenes == 2
+        assert result.submap_median_inliers >= 0
+        assert "submap" in format_submap_study(result).lower()
+
+
+class TestNoiseSweep:
+    def test_recovered_flat_corrupted_falls(self):
+        result = run_noise_sweep(num_pairs=4, seed=5)
+        corrupted = list(result.corrupted_ap.values())
+        recovered = list(result.recovered_ap.values())
+        valid_c = [v for v in corrupted if not np.isnan(v)]
+        valid_r = [v for v in recovered if not np.isnan(v)]
+        if len(valid_c) >= 2:
+            assert valid_c[0] >= valid_c[-1] - 1e-9
+        assert len(valid_r) == len(recovered)
+        assert "severity" in format_noise_sweep(result)

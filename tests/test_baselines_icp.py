@@ -1,0 +1,59 @@
+"""Tests for the 2-D ICP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.icp import icp_2d
+from repro.geometry.se2 import SE2
+
+
+class TestIcp:
+    def test_recovers_small_offset(self, rng):
+        gt = SE2(np.deg2rad(3.0), 0.5, -0.3)
+        target = rng.uniform(-20, 20, (500, 2))
+        source = gt.inverse().apply(target)
+        result = icp_2d(source, target, rng=rng)
+        assert result.converged
+        assert result.transform.translation_distance(gt) < 0.05
+        assert result.transform.rotation_distance(gt) < 0.01
+
+    def test_initial_guess_extends_basin(self, rng):
+        gt = SE2(np.deg2rad(5.0), 6.0, 2.0)
+        target = rng.uniform(-20, 20, (400, 2))
+        source = gt.inverse().apply(target)
+        cold = icp_2d(source, target, rng=rng)
+        warm = icp_2d(source, target,
+                      initial=SE2(np.deg2rad(4.0), 5.5, 1.8), rng=rng)
+        warm_err = warm.transform.translation_distance(gt)
+        cold_err = cold.transform.translation_distance(gt)
+        assert warm_err < 0.1
+        assert warm_err <= cold_err + 1e-9
+
+    def test_large_offset_diverges_without_init(self, rng):
+        """The paper's argument against raw ICP for V2V: a big pose error
+        exceeds the convergence basin."""
+        gt = SE2(np.deg2rad(40.0), 25.0, 10.0)
+        target = rng.uniform(-30, 30, (300, 2))
+        source = gt.inverse().apply(target)
+        result = icp_2d(source, target, rng=rng)
+        assert result.transform.translation_distance(gt) > 1.0
+
+    def test_too_few_points(self, rng):
+        result = icp_2d(np.zeros((2, 2)), np.zeros((2, 2)), rng=rng)
+        assert not result.converged
+        assert result.iterations == 0
+
+    def test_subsampling_cap(self, rng):
+        gt = SE2(0.01, 0.2, 0.1)
+        target = rng.uniform(-20, 20, (10_000, 2))
+        source = gt.inverse().apply(target)
+        result = icp_2d(source, target, max_points=500, rng=rng)
+        assert result.transform.translation_distance(gt) < 0.2
+
+    def test_reports_rmse_and_pairs(self, rng):
+        gt = SE2(0.0, 0.3, 0.0)
+        target = rng.uniform(-10, 10, (200, 2))
+        source = gt.inverse().apply(target) + rng.normal(0, 0.02, (200, 2))
+        result = icp_2d(source, target, rng=rng)
+        assert result.num_correspondences > 100
+        assert 0 < result.rmse < 0.2

@@ -1,0 +1,93 @@
+"""Tests for repro.bev.log_gabor (paper Eq. 6-8)."""
+
+import numpy as np
+import pytest
+
+from repro.bev.log_gabor import LogGaborBank, LogGaborConfig
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = LogGaborConfig()
+        assert cfg.num_scales == 4
+        assert cfg.num_orientations == 12
+
+    def test_orientations_spacing(self):
+        cfg = LogGaborConfig(num_orientations=6)
+        orientations = cfg.orientations
+        assert len(orientations) == 6
+        assert orientations[0] == 0.0
+        np.testing.assert_allclose(np.diff(orientations), np.pi / 6)
+
+    def test_wavelengths_geometric(self):
+        cfg = LogGaborConfig(min_wavelength=3.0, mult=2.0, num_scales=3)
+        np.testing.assert_allclose(cfg.wavelengths, [3.0, 6.0, 12.0])
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_scales=0),
+        dict(num_orientations=1),
+        dict(min_wavelength=1.0),
+        dict(mult=0.9),
+        dict(sigma_on_f=1.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LogGaborConfig(**kwargs)
+
+
+class TestBank:
+    def test_rejects_tiny_images(self):
+        with pytest.raises(ValueError):
+            LogGaborBank(2)
+
+    def test_amplitude_shape(self):
+        bank = LogGaborBank(32)
+        amp = bank.amplitude(np.random.default_rng(0).random((32, 32)), 0, 0)
+        assert amp.shape == (32, 32)
+        assert np.all(amp >= 0)
+
+    def test_rejects_wrong_image_size(self):
+        bank = LogGaborBank(32)
+        with pytest.raises(ValueError):
+            bank.orientation_amplitude_sum(np.zeros((16, 16)))
+
+    def test_constant_image_has_zero_response(self):
+        # Zero DC gain: a flat image excites nothing.
+        bank = LogGaborBank(32)
+        sums = bank.orientation_amplitude_sum(np.full((32, 32), 7.0))
+        assert sums.max() < 1e-9
+
+    def test_oriented_stripes_excite_matching_filter(self):
+        """A vertical stripe pattern (energy along the x-frequency axis)
+        must maximize the amplitude of the orientation-0 filter."""
+        size = 64
+        cfg = LogGaborConfig(num_scales=3, num_orientations=6)
+        bank = LogGaborBank(size, cfg)
+        x = np.arange(size)
+        stripes = np.tile(np.sin(2 * np.pi * x / 8.0), (size, 1))
+        sums = bank.orientation_amplitude_sum(stripes)
+        central = sums[:, 16:48, 16:48].mean(axis=(1, 2))
+        assert int(np.argmax(central)) == 0
+
+    def test_rotated_stripes_shift_winning_orientation(self):
+        size = 96
+        cfg = LogGaborConfig(num_scales=3, num_orientations=6)
+        bank = LogGaborBank(size, cfg)
+        yy, xx = np.meshgrid(np.arange(size), np.arange(size),
+                             indexing="ij")
+        # Stripes whose gradient direction is 60 degrees.
+        angle = np.pi / 3
+        phase = (np.cos(angle) * xx + np.sin(angle) * yy)
+        image = np.sin(2 * np.pi * phase / 8.0)
+        sums = bank.orientation_amplitude_sum(image)
+        central = sums[:, 24:72, 24:72].mean(axis=(1, 2))
+        # 60 degrees = bin 2 of 6 (30-degree spacing).
+        assert int(np.argmax(central)) == 2
+
+    def test_amplitudes_by_orientation_consistency(self):
+        rng_img = np.random.default_rng(3).random((32, 32))
+        bank = LogGaborBank(32)
+        per = bank.amplitudes_by_orientation(rng_img)
+        summed = bank.orientation_amplitude_sum(rng_img)
+        manual = np.sum(per[5], axis=0)
+        np.testing.assert_allclose(manual, summed[5], atol=1e-9)

@@ -1,0 +1,85 @@
+"""Tests for repro.bev.phase_congruency."""
+
+import numpy as np
+import pytest
+
+from repro.bev.log_gabor import LogGaborConfig
+from repro.bev.phase_congruency import compute_phase_congruency
+
+
+def step_edge(size=64, column=32):
+    image = np.zeros((size, size))
+    image[:, column:] = 1.0
+    return image
+
+
+class TestPhaseCongruency:
+    def test_shapes(self):
+        cfg = LogGaborConfig(num_scales=3, num_orientations=6)
+        result = compute_phase_congruency(step_edge(), cfg)
+        assert result.pc.shape == (6, 64, 64)
+        assert result.max_moment.shape == (64, 64)
+        assert result.min_moment.shape == (64, 64)
+
+    def test_values_bounded(self):
+        result = compute_phase_congruency(step_edge())
+        assert result.pc.min() >= 0.0
+        assert result.pc.max() <= 1.0 + 1e-9
+        assert result.min_moment.min() >= 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            compute_phase_congruency(np.zeros((10, 20)))
+
+    def test_edge_has_high_max_moment(self):
+        """A step edge is a 1-D feature: strong maximum moment at the
+        edge, weak elsewhere."""
+        result = compute_phase_congruency(step_edge(column=32))
+        on_edge = result.max_moment[20:44, 30:34].mean()
+        off_edge = result.max_moment[20:44, 8:16].mean()
+        assert on_edge > 3 * off_edge
+
+    def test_edge_has_low_min_moment(self):
+        """A pure edge has congruency in only one orientation, so its
+        minimum moment stays small relative to a corner's."""
+        edge = compute_phase_congruency(step_edge(column=32))
+        corner_img = np.zeros((64, 64))
+        corner_img[32:, 32:] = 1.0  # L-corner at (32, 32)
+        corner = compute_phase_congruency(corner_img)
+        corner_peak = corner.min_moment[28:36, 28:36].max()
+        edge_line = edge.min_moment[20:44, 30:34].max()
+        assert corner_peak > edge_line
+
+    def test_flat_image_no_response(self):
+        result = compute_phase_congruency(np.full((32, 32), 5.0))
+        assert result.max_moment.max() < 1e-6
+
+    def test_orientation_map_range(self):
+        result = compute_phase_congruency(step_edge())
+        assert result.orientation.min() >= 0.0
+        assert result.orientation.max() < np.pi + 1e-9
+
+
+class TestPcKeypoints:
+    def test_corner_detected(self):
+        from repro.features.pc_keypoints import detect_pc_keypoints
+        image = np.zeros((64, 64))
+        image[32:, 32:] = 1.0
+        kp = detect_pc_keypoints(image)
+        assert len(kp) >= 1
+        dists = np.linalg.norm(kp.xy - [32, 32], axis=1)
+        assert dists.min() < 4.0
+
+    def test_empty_image(self):
+        from repro.features.pc_keypoints import detect_pc_keypoints
+        assert len(detect_pc_keypoints(np.zeros((32, 32)))) == 0
+
+    def test_validation(self):
+        from repro.features.pc_keypoints import PcKeypointConfig
+        with pytest.raises(ValueError):
+            PcKeypointConfig(relative_threshold=0.0)
+
+    def test_rejects_non_square(self):
+        from repro.features.pc_keypoints import detect_pc_keypoints
+        with pytest.raises(ValueError):
+            detect_pc_keypoints(np.zeros((16, 32)))

@@ -1,0 +1,82 @@
+"""Tests for repro.boxes.iou (rotated IoU)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boxes.box import Box2D
+from repro.boxes.iou import bev_iou, iou_matrix
+
+
+class TestBevIou:
+    def test_identical_boxes(self):
+        box = Box2D(0, 0, 4.0, 2.0, 0.5)
+        assert bev_iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = Box2D(0, 0, 4.0, 2.0, 0.0)
+        b = Box2D(100, 0, 4.0, 2.0, 0.0)
+        assert bev_iou(a, b) == 0.0
+
+    def test_half_overlap_axis_aligned(self):
+        a = Box2D(0, 0, 2.0, 2.0, 0.0)
+        b = Box2D(1, 0, 2.0, 2.0, 0.0)
+        # intersection 2, union 6.
+        assert bev_iou(a, b) == pytest.approx(1 / 3)
+
+    def test_rotation_of_both_preserves_iou(self):
+        a = Box2D(0, 0, 4.0, 2.0, 0.0)
+        b = Box2D(1, 0.5, 4.0, 2.0, 0.3)
+        base = bev_iou(a, b)
+        from repro.geometry.se2 import SE2
+        t = SE2(1.1, 5.0, -3.0)
+        assert bev_iou(a.transform(t), b.transform(t)) == pytest.approx(
+            base, abs=1e-9)
+
+    def test_rotated_cross(self):
+        a = Box2D(0, 0, 4.0, 2.0, 0.0)
+        b = Box2D(0, 0, 4.0, 2.0, np.pi / 2)
+        # Cross of two 4x2 rectangles: intersection 4, union 12.
+        assert bev_iou(a, b) == pytest.approx(4 / 12)
+
+    def test_symmetry(self):
+        a = Box2D(0.3, -0.2, 4.5, 1.9, 0.2)
+        b = Box2D(1.0, 0.4, 4.2, 2.1, -0.4)
+        assert bev_iou(a, b) == pytest.approx(bev_iou(b, a))
+
+    @given(st.floats(-5, 5), st.floats(-5, 5), st.floats(-3, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_iou_in_unit_range(self, dx, dy, yaw):
+        a = Box2D(0, 0, 4.5, 1.9, 0.0)
+        b = Box2D(dx, dy, 4.5, 1.9, yaw)
+        assert 0.0 <= bev_iou(a, b) <= 1.0
+
+    def test_contained_box(self):
+        outer = Box2D(0, 0, 4.0, 4.0, 0.0)
+        inner = Box2D(0, 0, 2.0, 2.0, 0.7)
+        assert bev_iou(outer, inner) == pytest.approx(4 / 16)
+
+
+class TestIouMatrix:
+    def test_shape_and_values(self):
+        a = [Box2D(0, 0, 4, 2, 0), Box2D(10, 0, 4, 2, 0)]
+        b = [Box2D(0, 0, 4, 2, 0)]
+        matrix = iou_matrix(a, b)
+        assert matrix.shape == (2, 1)
+        assert matrix[0, 0] == pytest.approx(1.0)
+        assert matrix[1, 0] == 0.0
+
+    def test_empty_inputs(self):
+        assert iou_matrix([], []).shape == (0, 0)
+        assert iou_matrix([Box2D(0, 0, 1, 1, 0)], []).shape == (1, 0)
+
+    def test_matches_pairwise_calls(self, rng):
+        boxes_a = [Box2D(*rng.uniform(-5, 5, 2), 4.0, 2.0,
+                         rng.uniform(-3, 3)) for _ in range(4)]
+        boxes_b = [Box2D(*rng.uniform(-5, 5, 2), 4.0, 2.0,
+                         rng.uniform(-3, 3)) for _ in range(3)]
+        matrix = iou_matrix(boxes_a, boxes_b)
+        for i, a in enumerate(boxes_a):
+            for j, b in enumerate(boxes_b):
+                assert matrix[i, j] == pytest.approx(bev_iou(a, b))

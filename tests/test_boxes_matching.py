@@ -1,0 +1,106 @@
+"""Tests for repro.boxes.matching (stage-2 geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.boxes.box import Box2D
+from repro.boxes.matching import (
+    corner_correspondences,
+    match_boxes_by_overlap,
+    pair_corners,
+)
+from repro.geometry.rigid import kabsch_2d
+from repro.geometry.se2 import SE2
+
+
+def car(x, y, yaw=0.0):
+    return Box2D(x, y, 4.5, 1.9, yaw)
+
+
+class TestOverlapMatching:
+    def test_obvious_pairs(self):
+        src = [car(0, 0), car(20, 0)]
+        dst = [car(0.5, 0.2), car(20.3, -0.1)]
+        matches = match_boxes_by_overlap(src, dst)
+        assert {(m.src_index, m.dst_index) for m in matches} == {(0, 0), (1, 1)}
+
+    def test_one_to_one(self):
+        # Two source boxes overlapping one destination: only the better
+        # one is matched.
+        src = [car(0, 0), car(0.3, 0)]
+        dst = [car(0.1, 0)]
+        matches = match_boxes_by_overlap(src, dst)
+        assert len(matches) == 1
+        assert matches[0].src_index == 0
+
+    def test_min_iou_threshold(self):
+        src = [car(0, 0)]
+        dst = [car(4.2, 0)]  # sliver of overlap
+        none = match_boxes_by_overlap(src, dst, min_iou=0.2)
+        some = match_boxes_by_overlap(src, dst, min_iou=0.01)
+        assert not none and len(some) == 1
+
+    def test_empty_inputs(self):
+        assert match_boxes_by_overlap([], [car(0, 0)]) == []
+        assert match_boxes_by_overlap([car(0, 0)], []) == []
+
+    def test_matches_sorted_by_iou(self):
+        src = [car(0, 0), car(20, 0)]
+        dst = [car(0.05, 0), car(21.5, 0)]
+        matches = match_boxes_by_overlap(src, dst)
+        assert matches[0].iou >= matches[1].iou
+
+    def test_rejects_bad_min_iou(self):
+        with pytest.raises(ValueError):
+            match_boxes_by_overlap([], [], min_iou=0.0)
+
+
+class TestCornerPairing:
+    def test_identical_boxes_zero_shift(self):
+        box = car(3, 4, 0.7)
+        src, dst = pair_corners(box, box)
+        np.testing.assert_allclose(src, dst)
+
+    def test_pi_flipped_detection_still_pairs(self):
+        """A detector reporting yaw off by pi produces the same physical
+        rectangle with a cyclically shifted corner sequence; pairing must
+        still put physically-identical corners together."""
+        a = car(0, 0, 0.2)
+        b = Box2D(0, 0, 4.5, 1.9, 0.2 + np.pi)
+        src, dst = pair_corners(a, b)
+        np.testing.assert_allclose(src, dst, atol=1e-9)
+
+    def test_pairing_recovers_small_offset(self):
+        a = car(0, 0, 0.1)
+        b = car(0.4, -0.3, 0.15)
+        src, dst = pair_corners(a, b)
+        # Paired corners must be the nearest-consistent assignment: the
+        # total cost should be at most the zero-shift cost.
+        zero_cost = np.sum((a.corners() - b.corners()) ** 2)
+        assert np.sum((src - dst) ** 2) <= zero_cost + 1e-12
+
+
+class TestCornerCorrespondences:
+    def test_stacks_four_per_match(self):
+        src_boxes = [car(0, 0), car(20, 0)]
+        dst_boxes = [car(0.2, 0), car(20.2, 0)]
+        matches = match_boxes_by_overlap(src_boxes, dst_boxes)
+        src, dst = corner_correspondences(src_boxes, dst_boxes, matches)
+        assert src.shape == (8, 2) and dst.shape == (8, 2)
+
+    def test_empty_matches(self):
+        src, dst = corner_correspondences([], [], [])
+        assert src.shape == (0, 2)
+
+    def test_end_to_end_recovers_residual_transform(self):
+        """The stage-2 promise: corner correspondences from overlapped
+        boxes recover the residual misalignment exactly (no noise)."""
+        residual = SE2(np.deg2rad(2.0), 0.8, -0.5)
+        dst_boxes = [car(5, 2, 0.1), car(-8, 4, 0.4), car(12, -3, -0.2)]
+        src_boxes = [b.transform(residual.inverse()) for b in dst_boxes]
+        matches = match_boxes_by_overlap(src_boxes, dst_boxes)
+        assert len(matches) == 3
+        src, dst = corner_correspondences(src_boxes, dst_boxes, matches)
+        estimate = kabsch_2d(src, dst)
+        assert estimate.is_close(residual, atol_translation=1e-9,
+                                 atol_rotation=1e-9)

@@ -1,0 +1,55 @@
+"""Tests for repro.boxes.nms."""
+
+import numpy as np
+import pytest
+
+from repro.boxes.box import Box2D
+from repro.boxes.nms import non_max_suppression
+
+
+def car(x, y, yaw=0.0):
+    return Box2D(x, y, 4.5, 1.9, yaw)
+
+
+class TestNms:
+    def test_keeps_all_disjoint(self):
+        boxes = [car(0, 0), car(20, 0), car(40, 0)]
+        kept = non_max_suppression(boxes, np.array([0.9, 0.8, 0.7]))
+        assert sorted(kept) == [0, 1, 2]
+
+    def test_suppresses_duplicates(self):
+        boxes = [car(0, 0), car(0.1, 0.05)]
+        kept = non_max_suppression(boxes, np.array([0.6, 0.9]))
+        assert kept == [1]
+
+    def test_keeps_highest_score(self):
+        boxes = [car(0, 0), car(0.2, 0), car(30, 0)]
+        kept = non_max_suppression(boxes, np.array([0.5, 0.95, 0.4]))
+        assert kept[0] == 1
+        assert 0 not in kept
+
+    def test_result_order_descending_score(self):
+        boxes = [car(0, 0), car(20, 0), car(40, 0)]
+        scores = np.array([0.3, 0.9, 0.6])
+        kept = non_max_suppression(boxes, scores)
+        assert list(scores[kept]) == sorted(scores[kept], reverse=True)
+
+    def test_empty(self):
+        assert non_max_suppression([], np.array([])) == []
+
+    def test_threshold_effect(self):
+        boxes = [car(0, 0), car(2.0, 0)]  # moderate overlap
+        loose = non_max_suppression(boxes, np.array([0.9, 0.8]),
+                                    iou_threshold=0.6)
+        strict = non_max_suppression(boxes, np.array([0.9, 0.8]),
+                                     iou_threshold=0.1)
+        assert len(loose) == 2
+        assert len(strict) == 1
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            non_max_suppression([car(0, 0)], np.array([0.5, 0.6]))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            non_max_suppression([], np.array([]), iou_threshold=0.0)

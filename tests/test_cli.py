@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_registered(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name, "--pairs", "3"])
+            assert args.command == name
+            assert args.pairs == 3
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestExecution:
+    def test_runs_small_experiment(self, capsys):
+        assert main(["bandwidth", "--pairs", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Bandwidth" in out
+
+    def test_writes_output_file(self, tmp_path, capsys):
+        assert main(["bandwidth", "--pairs", "2", "--seed", "5",
+                     "--output", str(tmp_path)]) == 0
+        saved = tmp_path / "bandwidth.txt"
+        assert saved.exists()
+        assert "Bandwidth" in saved.read_text()
+
+    def test_every_runner_accepts_standard_kwargs(self):
+        """All registered runners share the (num_pairs, seed) contract the
+        CLI relies on."""
+        import inspect
+        for name, (runner, _, _) in EXPERIMENTS.items():
+            params = inspect.signature(runner).parameters
+            assert "num_pairs" in params, name
+            assert "seed" in params, name

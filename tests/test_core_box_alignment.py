@@ -1,0 +1,106 @@
+"""Tests for repro.core.box_alignment (stage 2)."""
+
+import numpy as np
+import pytest
+
+from repro.boxes.box import Box2D
+from repro.core.box_alignment import BoxAligner
+from repro.core.config import BoxAlignConfig
+from repro.geometry.se2 import SE2
+
+
+def car(x, y, yaw=0.0):
+    return Box2D(x, y, 4.5, 1.9, yaw)
+
+
+def scene(n=4, spread=25.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [car(*rng.uniform(-spread, spread, 2), rng.uniform(-3, 3))
+            for _ in range(n)]
+
+
+class TestBoxAligner:
+    def test_exact_refinement(self):
+        """Noiseless boxes: the aligner must recover the exact residual
+        left by an imperfect stage-1 transform."""
+        gt = SE2(np.deg2rad(12.0), 15.0, -4.0)
+        ego_boxes = scene(5)
+        other_boxes = [b.transform(gt.inverse()) for b in ego_boxes]
+        stage1 = SE2(gt.theta + np.deg2rad(1.0), gt.tx + 0.8, gt.ty - 0.6)
+        result = BoxAligner().align(other_boxes, ego_boxes, stage1, rng=0)
+        assert result.success
+        combined = result.correction @ stage1
+        assert combined.is_close(gt, atol_translation=1e-6,
+                                 atol_rotation=1e-7)
+        assert result.inliers_box == 20  # 4 corners x 5 boxes
+
+    def test_no_boxes_skips(self):
+        result = BoxAligner().align([], scene(3), SE2.identity(), rng=0)
+        assert not result.success
+        assert result.correction.is_close(SE2.identity())
+
+    def test_no_overlap_skips(self):
+        ego_boxes = scene(3)
+        other_boxes = [b.transform(SE2(0, 500.0, 0)) for b in ego_boxes]
+        result = BoxAligner().align(other_boxes, ego_boxes,
+                                    SE2.identity(), rng=0)
+        assert not result.success
+        assert result.num_matched_boxes == 0
+
+    def test_extra_unmatched_boxes_tolerated(self):
+        gt = SE2(0.1, 5.0, 2.0)
+        ego_boxes = scene(4)
+        other_boxes = [b.transform(gt.inverse()) for b in ego_boxes]
+        # Each side additionally sees objects the other does not.
+        ego_all = ego_boxes + [car(200, 0), car(-200, 0)]
+        other_all = other_boxes + [car(300, 50)]
+        stage1 = SE2(gt.theta, gt.tx + 0.5, gt.ty)
+        result = BoxAligner().align(other_all, ego_all, stage1, rng=0)
+        assert result.success
+        combined = result.correction @ stage1
+        assert combined.translation_distance(gt) < 1e-6
+
+    def test_oversized_correction_rejected(self):
+        """A 'correction' that teleports boxes across the scene is a
+        mismatch and must be refused."""
+        config = BoxAlignConfig(max_correction_meters=2.0,
+                                min_overlap_iou=0.01)
+        # Construct boxes whose best overlap pairing implies a huge shift:
+        # one far-apart overlapping pair that 'matches' spuriously.
+        ego_boxes = [car(0, 0, 0.0)]
+        other_boxes = [car(3.8, 0, 0.0)]  # tiny sliver overlap at identity
+        result = BoxAligner(config).align(other_boxes, ego_boxes,
+                                          SE2.identity(), rng=0)
+        if result.ransac is not None and result.ransac.success:
+            assert not result.success or \
+                np.hypot(result.correction.tx, result.correction.ty) <= 2.0
+
+    def test_noisy_boxes_beat_stage1_residual(self):
+        """With realistic detector noise, stage-2 still reduces a
+        0.5 m stage-1 residual."""
+        rng = np.random.default_rng(4)
+        gt = SE2(np.deg2rad(-8.0), -10.0, 6.0)
+        ego_boxes = scene(6, seed=2)
+        other_boxes = []
+        for b in ego_boxes:
+            moved = b.transform(gt.inverse())
+            other_boxes.append(Box2D(
+                moved.center_x + rng.normal(0, 0.06),
+                moved.center_y + rng.normal(0, 0.06),
+                moved.length, moved.width,
+                moved.yaw + rng.normal(0, np.deg2rad(0.8))))
+        stage1 = SE2(gt.theta, gt.tx + 0.5, gt.ty - 0.3)
+        result = BoxAligner().align(other_boxes, ego_boxes, stage1, rng=0)
+        assert result.success
+        combined = result.correction @ stage1
+        assert combined.translation_distance(gt) \
+            < stage1.translation_distance(gt)
+
+    def test_deterministic(self):
+        gt = SE2(0.2, 3.0, 1.0)
+        ego_boxes = scene(4, seed=9)
+        other_boxes = [b.transform(gt.inverse()) for b in ego_boxes]
+        stage1 = SE2(gt.theta, gt.tx + 0.4, gt.ty)
+        a = BoxAligner().align(other_boxes, ego_boxes, stage1, rng=5)
+        b = BoxAligner().align(other_boxes, ego_boxes, stage1, rng=5)
+        assert a.correction.is_close(b.correction)

@@ -1,0 +1,62 @@
+"""Tests for repro.core.confidence."""
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import ConfidenceModel, fit_confidence_model
+from tests.test_experiments_modules import outcome
+
+
+def sweep(n_bad=20, n_good=20):
+    rng = np.random.default_rng(0)
+    outcomes = []
+    for _ in range(n_bad):
+        outcomes.append(outcome(inliers_bv=int(rng.integers(1, 15)),
+                                inliers_box=0, terr=5.0))
+    for _ in range(n_good):
+        outcomes.append(outcome(inliers_bv=int(rng.integers(40, 120)),
+                                inliers_box=int(rng.integers(8, 24)),
+                                terr=0.2))
+    return outcomes
+
+
+class TestFitConfidenceModel:
+    def test_separates_good_from_bad(self):
+        model = fit_confidence_model(sweep())
+        assert model.predict(5, 0) < 0.3
+        assert model.predict(100, 20) > 0.7
+
+    def test_monotone_in_inliers(self):
+        model = fit_confidence_model(sweep())
+        probabilities = [model.predict(k, 0) for k in range(0, 150, 10)]
+        assert all(b >= a - 1e-9
+                   for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_probabilities_valid(self):
+        model = fit_confidence_model(sweep())
+        assert np.all(model.probabilities >= 0)
+        assert np.all(model.probabilities <= 1)
+
+    def test_box_weight_contributes(self):
+        model = fit_confidence_model(sweep(), box_weight=2.0)
+        assert model.score(10, 5) == pytest.approx(20.0)
+
+    def test_requires_enough_data(self):
+        with pytest.raises(ValueError):
+            fit_confidence_model([outcome()] * 2, num_bins=5)
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            fit_confidence_model(sweep(), num_bins=1)
+
+    def test_on_real_sweep(self):
+        """Fit on an actual pipeline sweep: the model's headline
+        prediction matches the empirical Fig. 9 pattern."""
+        from repro.experiments.common import (
+            default_dataset,
+            run_pose_recovery_sweep,
+        )
+        outcomes = run_pose_recovery_sweep(default_dataset(10, seed=33),
+                                           include_vips=False)
+        model = fit_confidence_model(outcomes, num_bins=3)
+        assert model.predict(150, 30) >= model.predict(1, 0)

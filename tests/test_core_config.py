@@ -1,0 +1,50 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import (
+    BBAlignConfig,
+    BVImageConfig,
+    BoxAlignConfig,
+    SuccessCriteria,
+)
+
+
+class TestBVImageConfig:
+    def test_image_size(self):
+        assert BVImageConfig(cell_size=0.8, lidar_range=76.8).image_size == 192
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BVImageConfig(cell_size=0.0)
+
+
+class TestSuccessCriteria:
+    def test_strictly_greater_semantics(self):
+        crit = SuccessCriteria(min_inliers_bv=25, min_inliers_box=6)
+        assert not crit.is_success(25, 7)   # must exceed, not equal
+        assert not crit.is_success(26, 6)
+        assert crit.is_success(26, 7)
+
+    def test_defaults_calibrated(self):
+        crit = SuccessCriteria()
+        assert crit.min_inliers_box == 6  # paper value
+        assert crit.min_inliers_bv > 0
+
+
+class TestBBAlignConfig:
+    def test_defaults_match_paper_where_applicable(self):
+        cfg = BBAlignConfig()
+        assert cfg.log_gabor.num_scales == 4       # N_s
+        assert cfg.log_gabor.num_orientations == 12  # N_o
+        assert cfg.descriptor.grid_size == 6       # l
+
+    def test_frozen(self):
+        cfg = BBAlignConfig()
+        with pytest.raises(Exception):
+            cfg.enable_box_alignment = False
+
+    def test_box_align_defaults_sane(self):
+        cfg = BoxAlignConfig()
+        assert 0 < cfg.min_overlap_iou < 1
+        assert cfg.threshold_meters > 0

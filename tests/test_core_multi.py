@@ -1,0 +1,128 @@
+"""Tests for repro.core.multi (pose-graph alignment)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi import MultiVehicleAligner, PairwiseEdge
+from repro.geometry.se2 import SE2
+
+
+def exact_edges(poses, pairs, weight=10.0, perturb=None):
+    """Build edges with ground-truth transforms (optionally perturbed)."""
+    edges = []
+    for index, (i, j) in enumerate(pairs):
+        transform = poses[i].inverse() @ poses[j]
+        if perturb and index in perturb:
+            d = perturb[index]
+            transform = SE2(transform.theta + d[0],
+                            transform.tx + d[1], transform.ty + d[2])
+        edges.append(PairwiseEdge(i, j, transform, weight))
+    return edges
+
+
+GT_POSES = [SE2(0.0, 0.0, 0.0), SE2(0.1, 20.0, 2.0),
+            SE2(-0.2, 45.0, -1.0), SE2(3.0, 70.0, 3.0)]
+
+
+class TestSynchronization:
+    def test_full_graph_exact(self):
+        aligner = MultiVehicleAligner()
+        pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        poses = aligner._synchronize(4, exact_edges(GT_POSES, pairs))
+        for estimate, truth in zip(poses, GT_POSES):
+            expected = GT_POSES[0].inverse() @ truth
+            assert estimate.is_close(expected, atol_translation=1e-9)
+
+    def test_relay_through_intermediate(self):
+        """No direct ego<->3 edge: vehicle 3 resolves via the chain."""
+        aligner = MultiVehicleAligner()
+        pairs = [(0, 1), (1, 2), (2, 3)]
+        poses = aligner._synchronize(4, exact_edges(GT_POSES, pairs))
+        assert poses[3] is not None
+        expected = GT_POSES[0].inverse() @ GT_POSES[3]
+        assert poses[3].is_close(expected, atol_translation=1e-9)
+
+    def test_unreachable_vehicle_unresolved(self):
+        aligner = MultiVehicleAligner()
+        pairs = [(0, 1)]  # vehicles 2, 3 isolated
+        poses = aligner._synchronize(4, exact_edges(GT_POSES, pairs))
+        assert poses[2] is None and poses[3] is None
+        assert poses[1] is not None
+
+    def test_refinement_averages_noisy_edges(self):
+        """A redundant graph with one bad edge: refinement must land
+        closer to truth than trusting the bad edge alone."""
+        aligner = MultiVehicleAligner(refinement_sweeps=10)
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        # Edge (0, 2) direct is off by 2 m in x.
+        edges = exact_edges(GT_POSES[:3], pairs,
+                            perturb={1: (0.0, 2.0, 0.0)})
+        poses = aligner._synchronize(3, edges)
+        truth = GT_POSES[0].inverse() @ GT_POSES[2]
+        error = poses[2].translation_distance(truth)
+        assert error < 2.0  # strictly better than the bad edge alone
+
+    def test_weights_prefer_confident_edges(self):
+        aligner = MultiVehicleAligner(refinement_sweeps=10)
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        good = exact_edges(GT_POSES[:3], [(0, 1), (1, 2)], weight=100.0)
+        bad = exact_edges(GT_POSES[:3], [(0, 2)], weight=1.0,
+                          perturb={0: (0.0, 3.0, 0.0)})
+        poses = aligner._synchronize(3, good + bad)
+        truth = GT_POSES[0].inverse() @ GT_POSES[2]
+        assert poses[2].translation_distance(truth) < 0.5
+
+
+class TestCycleResiduals:
+    def test_exact_cycle_zero_residual(self):
+        pairs = [(0, 1), (1, 2), (0, 2)]
+        residuals = MultiVehicleAligner._cycle_residuals(
+            3, exact_edges(GT_POSES[:3], pairs))
+        assert len(residuals) == 1
+        assert residuals[0][0] < 1e-9
+        assert residuals[0][1] < 1e-9
+
+    def test_perturbed_cycle_nonzero(self):
+        pairs = [(0, 1), (1, 2), (0, 2)]
+        edges = exact_edges(GT_POSES[:3], pairs,
+                            perturb={0: (0.0, 1.0, 0.0)})
+        residuals = MultiVehicleAligner._cycle_residuals(3, edges)
+        assert residuals[0][0] > 0.5
+
+    def test_incomplete_cycle_skipped(self):
+        pairs = [(0, 1), (1, 2)]
+        residuals = MultiVehicleAligner._cycle_residuals(
+            3, exact_edges(GT_POSES[:3], pairs))
+        assert residuals == []
+
+
+class TestEndToEndMulti:
+    @pytest.fixture(scope="class")
+    def multi_frame(self):
+        from repro.simulation.multi import MultiScenarioConfig, make_multi_frame
+        from repro.simulation.scenario import ScenarioConfig
+        return make_multi_frame(MultiScenarioConfig(
+            scenario=ScenarioConfig(distance=20.0),
+            num_vehicles=3, spacing=18.0, same_direction_prob=1.0), rng=4)
+
+    def test_alignment_resolves_vehicles(self, multi_frame):
+        from repro.detection.simulated import SimulatedDetector
+        detector = SimulatedDetector()
+        boxes = [[d.box for d in detector.detect(v, rng=i)]
+                 for i, v in enumerate(multi_frame.visible)]
+        aligner = MultiVehicleAligner()
+        result = aligner.align(list(multi_frame.clouds), boxes, rng=0)
+        assert result.num_resolved >= 2
+        for index, pose in enumerate(result.poses):
+            if pose is None or index == 0:
+                continue
+            truth = multi_frame.gt_relative(0, index)
+            assert pose.translation_distance(truth) < 2.0
+
+    def test_input_validation(self):
+        aligner = MultiVehicleAligner()
+        with pytest.raises(ValueError):
+            aligner.align([], [], rng=0)
+        from repro.pointcloud.cloud import PointCloud
+        with pytest.raises(ValueError):
+            aligner.align([PointCloud.empty()] * 2, [[]], rng=0)

@@ -1,0 +1,153 @@
+"""Tests for repro.core.temporal (pose tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.core.box_alignment import BoxAlignment
+from repro.core.bv_matching import BVMatch
+from repro.core.result import PoseRecoveryResult
+from repro.core.temporal import PoseTracker, TrackerConfig
+from repro.features.matching import MatchResult
+from repro.geometry.ransac import RansacResult
+from repro.geometry.se2 import SE2
+from repro.geometry.se3 import SE3
+
+
+def fake_recovery(transform: SE2, success: bool = True,
+                  inliers_bv: int = 40) -> PoseRecoveryResult:
+    ransac = RansacResult(transform, np.ones(inliers_bv, dtype=bool),
+                          inliers_bv, 10, True, 0.1)
+    stage1 = BVMatch(transform, inliers_bv, inliers_bv, True, transform,
+                     ransac, MatchResult.empty())
+    return PoseRecoveryResult(
+        transform=transform, transform_3d=SE3.from_se2(transform),
+        success=success, stage1=stage1, stage2=BoxAlignment.skipped(),
+        message_bytes=1000)
+
+
+class TestTrackerBasics:
+    def test_cold_start_adopts_measurement(self):
+        tracker = PoseTracker()
+        pose = SE2(0.3, 10.0, 2.0)
+        tracked = tracker.update(fake_recovery(pose))
+        assert tracked.used_measurement
+        assert tracked.transform.is_close(pose)
+
+    def test_uninitialized_coast_returns_identity(self):
+        tracker = PoseTracker()
+        tracked = tracker.update(None)
+        assert tracked.coasting
+        assert tracked.transform.is_close(SE2.identity())
+
+    def test_predict_before_init_returns_none(self):
+        tracker = PoseTracker()
+        assert tracker.predict(SE2.identity(), SE2.identity()) is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrackerConfig(min_blend=0.9, max_blend=0.5)
+        with pytest.raises(ValueError):
+            TrackerConfig(max_coast_frames=0)
+
+
+class TestPrediction:
+    def test_relative_pose_propagation_exact(self):
+        """T(t+1) = dEgo^-1 T(t) dOther must match ground truth for
+        arbitrary vehicle motions."""
+        ego_0 = SE2(0.2, 0.0, 0.0)
+        other_0 = SE2(-0.4, 20.0, 3.0)
+        ego_step = SE2(0.05, 1.2, 0.1)
+        other_step = SE2(-0.02, 0.9, 0.0)
+        ego_1 = ego_0 @ ego_step
+        other_1 = other_0 @ other_step
+        truth_0 = ego_0.inverse() @ other_0
+        truth_1 = ego_1.inverse() @ other_1
+
+        tracker = PoseTracker()
+        tracker.update(fake_recovery(truth_0))
+        predicted = tracker.predict(ego_step, other_step)
+        assert predicted.is_close(truth_1, atol_translation=1e-9)
+
+
+class TestGating:
+    def test_outlier_measurement_gated(self):
+        tracker = PoseTracker()
+        base = SE2(0.0, 10.0, 0.0)
+        tracker.update(fake_recovery(base))
+        bogus = SE2(0.0, 60.0, 0.0)
+        tracked = tracker.update(fake_recovery(bogus))
+        assert not tracked.used_measurement
+        assert tracked.transform.translation_distance(base) < 1e-9
+
+    def test_reacquisition_after_long_coast(self):
+        config = TrackerConfig(max_coast_frames=2)
+        tracker = PoseTracker(config)
+        tracker.update(fake_recovery(SE2(0.0, 10.0, 0.0)))
+        far = SE2(0.0, 60.0, 0.0)
+        tracker.update(fake_recovery(far))   # gated (1)
+        tracker.update(fake_recovery(far))   # gated (2)
+        tracked = tracker.update(fake_recovery(far))  # re-acquire
+        assert tracked.used_measurement
+        assert tracked.transform.is_close(far)
+
+    def test_failed_recovery_coasts(self):
+        tracker = PoseTracker()
+        base = SE2(0.1, 5.0, 1.0)
+        tracker.update(fake_recovery(base))
+        tracked = tracker.update(fake_recovery(base, success=False))
+        assert tracked.coasting
+        assert tracked.frames_since_update == 1
+
+
+class TestBlending:
+    def test_high_confidence_pulls_harder(self):
+        base = SE2(0.0, 10.0, 0.0)
+        offset = SE2(0.0, 11.0, 0.0)
+
+        def final_x(inliers):
+            tracker = PoseTracker()
+            tracker.update(fake_recovery(base))
+            return tracker.update(fake_recovery(offset,
+                                                inliers_bv=inliers)).transform.tx
+
+        assert abs(final_x(100) - 11.0) < abs(final_x(5) - 11.0)
+
+    def test_blend_wraps_rotation(self):
+        base = SE2(np.deg2rad(179.0), 0.0, 0.0)
+        tracker = PoseTracker(TrackerConfig(gate_rotation_deg=10.0))
+        tracker.update(fake_recovery(base))
+        measurement = SE2(np.deg2rad(-179.0), 0.0, 0.0)
+        tracked = tracker.update(fake_recovery(measurement))
+        assert tracked.used_measurement
+        # Blend must land between 179 and 181 degrees, not near 0.
+        assert abs(abs(np.degrees(tracked.transform.theta)) - 180.0) < 2.0
+
+
+class TestTrackingOverSequence:
+    def test_tracker_fills_gaps_and_tracks_truth(self):
+        """Synthetic stream: measurements every frame except a gap; the
+        tracker must stay near truth through the gap via odometry."""
+        rng = np.random.default_rng(0)
+        ego = SE2(0.0, 0.0, 0.0)
+        other = SE2(0.05, 25.0, 3.0)
+        ego_step = SE2(0.01, 1.0, 0.0)
+        other_step = SE2(-0.005, 1.1, 0.0)
+        tracker = PoseTracker()
+        errors = []
+        for t in range(12):
+            truth = ego.inverse() @ other
+            if tracker.initialized:
+                tracker.predict(ego_step, other_step)
+            if 4 <= t <= 7:
+                recovery = None  # communication gap
+            else:
+                noisy = SE2(truth.theta + rng.normal(0, 0.002),
+                            truth.tx + rng.normal(0, 0.1),
+                            truth.ty + rng.normal(0, 0.1))
+                recovery = fake_recovery(noisy)
+            tracked = tracker.update(recovery)
+            if tracker.initialized:
+                errors.append(tracked.transform.translation_distance(truth))
+            ego = ego @ ego_step
+            other = other @ other_step
+        assert max(errors) < 0.5  # stays locked through the gap

@@ -1,0 +1,68 @@
+"""Tests for repro.detection.evaluation."""
+
+import numpy as np
+
+from repro.detection.evaluation import (
+    DISTANCE_BINS,
+    evaluate_cooperative_detection,
+    ground_truth_boxes,
+)
+from repro.detection.fusion import LateFusionDetector
+from repro.noise.pose_noise import add_pose_noise
+
+
+class TestGroundTruthBoxes:
+    def test_union_includes_both_views(self, frame_pair):
+        gts = ground_truth_boxes(frame_pair)
+        ego_ids = {v.vehicle_id for v in frame_pair.ego_visible}
+        other_ids = {v.vehicle_id for v in frame_pair.other_visible}
+        assert len(gts) >= len(ego_ids | other_ids) - 2  # partner overlap
+
+    def test_no_duplicates_for_common_objects(self, frame_pair):
+        gts = ground_truth_boxes(frame_pair)
+        centers = np.array([[g.center_x, g.center_y] for g in gts])
+        if len(centers) >= 2:
+            dists = np.linalg.norm(centers[:, None] - centers[None], axis=2)
+            np.fill_diagonal(dists, np.inf)
+            assert dists.min() > 1.0  # distinct physical objects
+
+    def test_other_boxes_expressed_in_ego_frame(self, frame_pair):
+        """An object seen only by the other car must appear at a
+        plausible ego-frame range (within sensor reach)."""
+        gts = ground_truth_boxes(frame_pair)
+        for g in gts:
+            assert np.hypot(g.center_x, g.center_y) < 200.0
+
+
+class TestEvaluateCooperativeDetection:
+    def test_result_structure(self, frame_pair):
+        method = LateFusionDetector()
+        result = evaluate_cooperative_detection(
+            [(frame_pair, frame_pair.gt_relative)], method, rng=0)
+        assert set(result.overall.keys()) == {0.5, 0.7}
+        assert set(result.by_distance.keys()) == set(DISTANCE_BINS)
+        assert result.num_frames == 1
+
+    def test_row_layout(self, frame_pair):
+        method = LateFusionDetector()
+        result = evaluate_cooperative_detection(
+            [(frame_pair, frame_pair.gt_relative)], method, rng=0)
+        row = result.row(0.5)
+        assert len(row) == 1 + len(DISTANCE_BINS)
+
+    def test_gt_pose_beats_noisy_pose(self, frame_pair, far_frame_pair):
+        method = LateFusionDetector()
+        pairs = [frame_pair, far_frame_pair]
+        clean = evaluate_cooperative_detection(
+            [(p, p.gt_relative) for p in pairs], method, rng=0)
+        noisy = evaluate_cooperative_detection(
+            [(p, add_pose_noise(p.gt_relative, 3.0, 3.0, rng=i))
+             for i, p in enumerate(pairs)], method, rng=0)
+        assert clean.overall[0.5].ap >= noisy.overall[0.5].ap
+
+    def test_ap_at_07_no_higher_than_05(self, frame_pair):
+        method = LateFusionDetector()
+        result = evaluate_cooperative_detection(
+            [(frame_pair, frame_pair.gt_relative)], method, rng=0)
+        if not np.isnan(result.overall[0.5].ap):
+            assert result.overall[0.7].ap <= result.overall[0.5].ap + 1e-9

@@ -1,0 +1,72 @@
+"""Unit tests of the fusion operators themselves (no full frames)."""
+
+import numpy as np
+import pytest
+
+from repro.detection.fusion.cobevt import CoBEVTFusionDetector
+from repro.detection.fusion.fcooper import FCooperFusionDetector
+from repro.detection.fusion.grid import BevFeatureGrid
+
+
+def grid_from(features):
+    features = np.asarray(features, dtype=float)
+    return BevFeatureGrid(features, 0.4, features.shape[1] * 0.2)
+
+
+def empty_grid(size=16):
+    return grid_from(np.zeros((4, size, size)))
+
+
+class TestFCooperFuse:
+    def test_elementwise_max(self, rng):
+        a = grid_from(rng.random((4, 16, 16)))
+        b = grid_from(rng.random((4, 16, 16)))
+        fused = FCooperFusionDetector().fuse(a, b)
+        np.testing.assert_allclose(fused.features,
+                                   np.maximum(a.features, b.features))
+
+    def test_identity_with_empty_other(self, rng):
+        a = grid_from(rng.random((4, 16, 16)))
+        fused = FCooperFusionDetector().fuse(a, empty_grid())
+        np.testing.assert_allclose(fused.features, a.features)
+
+    def test_commutative(self, rng):
+        a = grid_from(rng.random((4, 16, 16)))
+        b = grid_from(rng.random((4, 16, 16)))
+        det = FCooperFusionDetector()
+        np.testing.assert_allclose(det.fuse(a, b).features,
+                                   det.fuse(b, a).features)
+
+
+class TestCoBEVTFuse:
+    def test_single_view_evidence_preserved(self):
+        # Other-car evidence in cells the ego never observed must pass
+        # through at full strength (the cooperative gain).
+        features = np.zeros((4, 16, 16))
+        features[0, 8, 8] = 1.5   # car-band height
+        features[1, 8, 8] = 2.0   # car-band count
+        other = grid_from(features)
+        fused = CoBEVTFusionDetector().fuse(empty_grid(), other)
+        assert fused.features[0, 8, 8] == pytest.approx(1.5)
+
+    def test_contradicted_evidence_attenuated(self):
+        # Other-car car-band evidence landing where the ego observes
+        # plenty of returns but NO car-band content is discounted.
+        ego = np.zeros((4, 16, 16))
+        ego[3, :, :] = 3.0        # dense ego observation (free space)
+        other = np.zeros((4, 16, 16))
+        other[0, 8, 8] = 1.5
+        other[1, 8, 8] = 2.0
+        detector = CoBEVTFusionDetector(contradiction_discount=0.4)
+        fused = detector.fuse(grid_from(ego), grid_from(other))
+        assert fused.features[0, 8, 8] == pytest.approx(1.5 * 0.4)
+
+    def test_agreeing_views_blend(self):
+        a = np.zeros((4, 16, 16))
+        a[0, 5, 5] = 1.0
+        a[1, 5, 5] = 1.0
+        b = np.zeros((4, 16, 16))
+        b[0, 5, 5] = 1.2
+        b[1, 5, 5] = 1.0
+        fused = CoBEVTFusionDetector().fuse(grid_from(a), grid_from(b))
+        assert 1.0 <= fused.features[0, 5, 5] <= 1.2

@@ -1,0 +1,102 @@
+"""Tests for repro.detection.simulated."""
+
+import numpy as np
+import pytest
+
+from repro.boxes.box import Box3D
+from repro.detection.simulated import (
+    COBEVT_PROFILE,
+    FCOOPER_PROFILE,
+    DetectorProfile,
+    SimulatedDetector,
+)
+from repro.simulation.scenario import VisibleObject
+
+
+def visible(n=5, points=200, seed=0):
+    rng = np.random.default_rng(seed)
+    objs = []
+    for i in range(n):
+        x, y = rng.uniform(-40, 40, 2)
+        objs.append(VisibleObject(
+            i, Box3D(x, y, 0.8, 4.5, 1.9, 1.6, rng.uniform(-3, 3)), points))
+    return objs
+
+
+class TestProfile:
+    def test_recall_saturates(self):
+        profile = COBEVT_PROFILE
+        assert profile.recall_at(1000) == pytest.approx(
+            profile.recall_ceiling, abs=1e-6)
+        assert profile.recall_at(1) < profile.recall_ceiling / 2
+
+    def test_recall_monotone(self):
+        counts = [1, 5, 20, 80, 400]
+        recalls = [COBEVT_PROFILE.recall_at(c) for c in counts]
+        assert recalls == sorted(recalls)
+
+    def test_cobevt_stronger_than_fcooper(self):
+        assert COBEVT_PROFILE.recall_at(30) > FCOOPER_PROFILE.recall_at(30)
+        assert COBEVT_PROFILE.center_noise < FCOOPER_PROFILE.center_noise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectorProfile(name="x", recall_ceiling=0.0)
+        with pytest.raises(ValueError):
+            DetectorProfile(name="x", recall_points_scale=0.0)
+
+
+class TestSimulatedDetector:
+    def test_detects_well_observed_objects(self, rng):
+        detector = SimulatedDetector(COBEVT_PROFILE)
+        dets = detector.detect(visible(n=10, points=500), rng)
+        true_dets = [d for d in dets if d.gt_vehicle_id is not None]
+        assert len(true_dets) >= 8
+
+    def test_misses_sparse_objects(self, rng):
+        detector = SimulatedDetector(COBEVT_PROFILE)
+        hits = 0
+        for trial in range(30):
+            dets = detector.detect(visible(n=5, points=2, seed=trial),
+                                   np.random.default_rng(trial))
+            hits += sum(d.gt_vehicle_id is not None for d in dets)
+        assert hits < 30 * 5 * 0.4
+
+    def test_box_noise_bounded(self, rng):
+        objs = visible(n=20, points=500)
+        detector = SimulatedDetector(COBEVT_PROFILE)
+        dets = detector.detect(objs, rng)
+        truth = {o.vehicle_id: o.box for o in objs}
+        for det in dets:
+            if det.gt_vehicle_id is None:
+                continue
+            gt = truth[det.gt_vehicle_id]
+            offset = np.hypot(det.box.center_x - gt.center_x,
+                              det.box.center_y - gt.center_y)
+            assert offset < 1.0  # few sigma of center noise
+
+    def test_scores_sorted(self, rng):
+        dets = SimulatedDetector().detect(visible(), rng)
+        scores = [d.score for d in dets]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_false_positives_unlabeled(self):
+        profile = DetectorProfile(name="fp-heavy",
+                                  false_positives_per_frame=20.0)
+        dets = SimulatedDetector(profile).detect(visible(n=0),
+                                                 np.random.default_rng(0))
+        assert len(dets) > 5
+        assert all(d.gt_vehicle_id is None for d in dets)
+
+    def test_deterministic_with_seed(self):
+        objs = visible()
+        a = SimulatedDetector().detect(objs, 77)
+        b = SimulatedDetector().detect(objs, 77)
+        assert len(a) == len(b)
+        for da, db in zip(a, b):
+            assert da.score == db.score
+            assert da.box.center_x == db.box.center_x
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            SimulatedDetector(max_range=0.0)

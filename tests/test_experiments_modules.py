@@ -1,0 +1,149 @@
+"""Unit tests of experiment aggregation logic on synthetic outcomes.
+
+The integration suite runs each experiment end to end at small scale;
+these tests pin the *bucketing and summary math* exactly, using
+hand-built :class:`PairOutcome` lists (no simulation, no pipeline).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import PairOutcome
+from repro.experiments.fig7_comparison import compute_fig7
+from repro.experiments.fig8_common_cars import compute_fig8
+from repro.experiments.fig9_inliers import (
+    compute_fig9,
+    derive_success_thresholds,
+)
+from repro.experiments.fig10_distance import compute_fig10
+from repro.experiments.fig11_bv_distance import compute_fig11
+from repro.experiments.fig12_box_common_cars import compute_fig12
+from repro.experiments.fig14_ablation import compute_fig14
+from repro.experiments.success_rate import compute_success_rate
+from repro.metrics.pose_error import PoseErrors
+
+
+def outcome(index=0, distance=20.0, num_common=3, scenario="suburban",
+            success=True, terr=0.3, rerr=0.2, s1_terr=0.5, s1_rerr=0.25,
+            inliers_bv=30, inliers_box=10, vips_terr=None):
+    return PairOutcome(
+        index=index, distance=distance, num_common=num_common,
+        scenario_kind=scenario, success=success,
+        errors=PoseErrors(terr, rerr),
+        stage1_errors=PoseErrors(s1_terr, s1_rerr),
+        inliers_bv=inliers_bv, inliers_box=inliers_box,
+        num_matches=50, num_matched_boxes=3,
+        message_bytes=30_000, raw_cloud_bytes=500_000,
+        vips_success=vips_terr is not None,
+        vips_errors=(PoseErrors(vips_terr, 1.0)
+                     if vips_terr is not None else None))
+
+
+class TestFig7Math:
+    def test_fractions_over_all_pairs(self):
+        outcomes = [outcome(terr=0.5, vips_terr=0.4),
+                    outcome(terr=0.5, vips_terr=5.0),
+                    outcome(success=False, terr=9.0, vips_terr=None),
+                    outcome(terr=2.0, vips_terr=None)]
+        result = compute_fig7(outcomes)
+        # BB: 2 of 4 successful AND under 1 m; VIPS: 1 of 4 under 1 m.
+        assert result.bb_fraction_under_1m == pytest.approx(0.5)
+        assert result.vips_fraction_under_1m == pytest.approx(0.25)
+
+    def test_cdfs_only_over_valid(self):
+        outcomes = [outcome(terr=0.5), outcome(success=False, terr=9.0)]
+        result = compute_fig7(outcomes)
+        assert result.bb_translation.values.size == 1
+
+
+class TestFig8Math:
+    def test_bucket_assignment(self):
+        outcomes = [outcome(num_common=0), outcome(num_common=3),
+                    outcome(num_common=5), outcome(num_common=20)]
+        result = compute_fig8(outcomes)
+        assert result.bucket_counts == {"0-1": 1, "2-3": 1, "4-6": 1,
+                                        "7+": 1}
+
+    def test_failed_pairs_excluded_from_bb_percentiles(self):
+        outcomes = [outcome(num_common=3, success=False, terr=50.0),
+                    outcome(num_common=3, terr=0.2)]
+        result = compute_fig8(outcomes)
+        assert result.bb_percentiles["2-3"][50] == pytest.approx(0.2)
+
+
+class TestFig9Math:
+    def test_bucketing_by_inliers(self):
+        outcomes = [outcome(inliers_bv=5, terr=3.0),
+                    outcome(inliers_bv=100, terr=0.1)]
+        result = compute_fig9(outcomes)
+        low = result.by_bv_inliers["[0,13)"][0]
+        high = result.by_bv_inliers[">=50"][0]
+        assert low.values.size == 1 and high.values.size == 1
+        assert low.fraction_below(1.0) == 0.0
+        assert high.fraction_below(1.0) == 1.0
+
+    def test_zero_inlier_attempts_excluded(self):
+        outcomes = [outcome(inliers_bv=0)]
+        result = compute_fig9(outcomes)
+        assert all(t.values.size == 0
+                   for t, _ in result.by_bv_inliers.values())
+
+
+class TestThresholdDerivationMath:
+    def test_clean_separation(self):
+        # Below 20 inliers: bad; above: good.
+        outcomes = [outcome(inliers_bv=i, terr=5.0) for i in (5, 10, 15)] \
+            + [outcome(inliers_bv=i, terr=0.1)
+               for i in (25, 30, 40, 50, 60)]
+        bv, _ = derive_success_thresholds(outcomes, target_accuracy=0.9)
+        assert 15 <= bv < 25
+
+
+class TestFig10Math:
+    def test_distance_bins_and_success_rate(self):
+        outcomes = [outcome(distance=30.0, terr=0.2),
+                    outcome(distance=30.0, success=False),
+                    outcome(distance=85.0, terr=0.5)]
+        result = compute_fig10(outcomes)
+        assert result.success_rate["[0,70) m"] == pytest.approx(0.5)
+        assert result.translation["[70,100) m"].values.size == 1
+
+
+class TestFig11Math:
+    def test_uses_stage1_errors_and_criterion(self):
+        outcomes = [outcome(distance=10.0, inliers_bv=30, s1_terr=0.7),
+                    outcome(distance=10.0, inliers_bv=5, s1_terr=0.1)]
+        result = compute_fig11(outcomes)
+        cdf = result.translation["[0,20) m"]
+        # Only the inliers>12 attempt qualifies; its stage-1 error is 0.7.
+        assert cdf.values.size == 1
+        assert cdf.values[0] == pytest.approx(0.7)
+
+
+class TestFig12Math:
+    def test_only_successes_counted(self):
+        outcomes = [outcome(num_common=4, terr=0.2),
+                    outcome(num_common=4, success=False, terr=8.0)]
+        result = compute_fig12(outcomes)
+        assert result.translation["3-5"].values.size == 1
+
+
+class TestFig14Math:
+    def test_same_population_both_arms(self):
+        outcomes = [outcome(terr=0.2, s1_terr=0.6),
+                    outcome(success=False, terr=9.0, s1_terr=9.0)]
+        result = compute_fig14(outcomes)
+        assert result.translation["with box align"][50] == pytest.approx(0.2)
+        assert result.translation["w/o box align"][50] == pytest.approx(0.6)
+
+
+class TestSuccessRateMath:
+    def test_per_scenario_breakdown(self):
+        outcomes = [outcome(scenario="urban", success=True),
+                    outcome(scenario="urban", success=False),
+                    outcome(scenario="open", success=False)]
+        result = compute_success_rate(outcomes)
+        assert result.overall == pytest.approx(1 / 3)
+        assert result.by_scenario["urban"] == pytest.approx(0.5)
+        assert result.by_scenario["open"] == 0.0
+        assert result.scenario_counts == {"urban": 2, "open": 1}

@@ -1,0 +1,53 @@
+"""Tests for repro.experiments.reporting."""
+
+import numpy as np
+
+from repro.experiments.reporting import (
+    format_cdf_series,
+    format_percentile_table,
+    format_table,
+)
+from repro.metrics.aggregation import Cdf
+
+
+class TestFormatCdf:
+    def test_contains_grid_rows(self):
+        cdf = Cdf.from_samples([0.1, 0.4, 0.9, 2.0])
+        text = format_cdf_series("terr", cdf)
+        assert "terr" in text
+        assert "P(err <= 1)" in text
+        assert "75.0" in text  # 3/4 under 1
+
+    def test_empty(self):
+        text = format_cdf_series("x", Cdf.from_samples([]))
+        assert "no samples" in text
+
+
+class TestPercentileTable:
+    def test_layout(self):
+        rows = {"a": {10: 0.1, 25: 0.2, 50: 0.3, 75: 0.4, 90: 0.5}}
+        text = format_percentile_table(rows, "title:")
+        assert "title:" in text
+        assert "p50" in text
+        assert "0.30" in text
+
+    def test_missing_percentile_nan(self):
+        rows = {"a": {50: 1.0}}
+        text = format_percentile_table(rows)
+        assert "nan" in text or "1.00" in text
+
+
+class TestGenericTable:
+    def test_alignment_and_values(self):
+        text = format_table(["m", "v"], [["x", 1.5], ["longer", 22.25]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert "22.2" in text  # float formatting
+
+    def test_nan_rendered_as_dashes(self):
+        text = format_table(["a"], [[float("nan")]])
+        assert "--" in text
+
+    def test_title(self):
+        text = format_table(["a"], [], title="T1")
+        assert text.startswith("T1")

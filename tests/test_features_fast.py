@@ -1,0 +1,118 @@
+"""Tests for repro.features.fast."""
+
+import numpy as np
+import pytest
+
+from repro.features.fast import CIRCLE_OFFSETS, FastConfig, Keypoints, detect_fast
+
+
+def blank(size=40):
+    return np.zeros((size, size))
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(threshold=0.0),
+        dict(arc_length=0),
+        dict(arc_length=17),
+        dict(nms_radius=-1),
+        dict(max_keypoints=-5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FastConfig(**kwargs)
+
+
+class TestCircle:
+    def test_sixteen_offsets(self):
+        assert len(CIRCLE_OFFSETS) == 16
+        assert len(set(CIRCLE_OFFSETS)) == 16
+
+    def test_radius_three(self):
+        for dr, dc in CIRCLE_OFFSETS:
+            assert 2.8 <= np.hypot(dr, dc) <= 3.2
+
+
+class TestDetection:
+    def test_empty_image_no_keypoints(self):
+        assert len(detect_fast(blank())) == 0
+
+    def test_isolated_bright_point_detected(self):
+        img = blank()
+        img[20, 20] = 5.0
+        kp = detect_fast(img, FastConfig(threshold=0.5))
+        assert len(kp) == 1
+        np.testing.assert_allclose(kp.xy[0], [20, 20])
+
+    def test_bright_line_yields_endpoint_keypoints(self):
+        # FAST-9 on a thin line: interior pixels have their darker arc
+        # interrupted by the line itself (max run 7 < 9), so detections
+        # cluster at the line ends — still keypoints ON the structure,
+        # which is what BV matching needs.
+        img = blank()
+        img[20, 8:32] = 5.0
+        kp = detect_fast(img, FastConfig(threshold=0.5, nms_radius=0))
+        assert len(kp) >= 4
+        assert np.all(kp.xy[:, 1] == 20)
+        cols = kp.xy[:, 0]
+        assert cols.min() <= 10 and cols.max() >= 29
+
+    def test_uniform_bright_region_interior_not_corner(self):
+        img = blank()
+        img[10:30, 10:30] = 5.0
+        kp = detect_fast(img, FastConfig(threshold=0.5, nms_radius=0))
+        # Interior pixels (circle entirely inside the region) are not
+        # corners; all detections hug the boundary.
+        for col, row in kp.xy:
+            assert (row < 14 or row > 25 or col < 14 or col > 25)
+
+    def test_threshold_controls_sensitivity(self):
+        img = blank()
+        img[20, 20] = 0.3
+        assert len(detect_fast(img, FastConfig(threshold=0.5))) == 0
+        assert len(detect_fast(img, FastConfig(threshold=0.2))) == 1
+
+    def test_border_suppressed(self):
+        img = blank()
+        img[1, 1] = 5.0  # inside the 3-pixel border
+        assert len(detect_fast(img, FastConfig(threshold=0.5))) == 0
+
+    def test_max_keypoints_cap(self, rng):
+        img = rng.random((60, 60)) * 5
+        kp = detect_fast(img, FastConfig(threshold=0.1, max_keypoints=10))
+        assert len(kp) <= 10
+
+    def test_scores_sorted_descending(self, rng):
+        img = rng.random((60, 60)) * 5
+        kp = detect_fast(img, FastConfig(threshold=0.2))
+        assert np.all(np.diff(kp.scores) <= 0)
+
+    def test_nms_reduces_count(self):
+        img = blank()
+        img[20, 8:32] = 5.0
+        img[21, 8:32] = 4.0
+        dense = detect_fast(img, FastConfig(threshold=0.5, nms_radius=0))
+        sparse = detect_fast(img, FastConfig(threshold=0.5, nms_radius=2))
+        assert len(sparse) < len(dense)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            detect_fast(np.zeros((4, 4, 3)))
+
+    def test_tiny_image_empty(self):
+        assert len(detect_fast(np.zeros((5, 5)))) == 0
+
+    def test_translation_equivariance(self):
+        img1 = blank(50)
+        img1[20, 15:25] = 3.0
+        img2 = np.roll(img1, (5, 7), axis=(0, 1))
+        kp1 = detect_fast(img1, FastConfig(threshold=0.5))
+        kp2 = detect_fast(img2, FastConfig(threshold=0.5))
+        shifted = kp1.xy + [7, 5]
+        assert {tuple(p) for p in shifted} == {tuple(p) for p in kp2.xy}
+
+
+class TestKeypoints:
+    def test_empty(self):
+        kp = Keypoints.empty()
+        assert len(kp) == 0

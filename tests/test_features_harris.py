@@ -1,0 +1,75 @@
+"""Tests for repro.features.harris."""
+
+import numpy as np
+import pytest
+
+from repro.features.harris import HarrisConfig, detect_harris
+
+
+class TestHarrisConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(sigma=0.0),
+        dict(k=0.3),
+        dict(relative_threshold=1.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HarrisConfig(**kwargs)
+
+
+class TestDetectHarris:
+    def test_corner_of_square_detected(self):
+        image = np.zeros((48, 48))
+        image[16:32, 16:32] = 5.0
+        kp = detect_harris(image)
+        assert len(kp) >= 4
+        # Each of the four square corners has a detection within 3 px.
+        for corner in [(16, 16), (16, 31), (31, 16), (31, 31)]:
+            dists = np.linalg.norm(kp.xy - [corner[1], corner[0]], axis=1)
+            assert dists.min() < 3.0
+
+    def test_straight_edge_not_corner(self):
+        image = np.zeros((48, 48))
+        image[:, 24:] = 5.0  # pure vertical edge
+        kp = detect_harris(image)
+        # No strong corner response anywhere on the interior edge.
+        interior = [p for p in kp.xy if 10 < p[1] < 38]
+        assert len(interior) == 0
+
+    def test_empty_image(self):
+        assert len(detect_harris(np.zeros((32, 32)))) == 0
+
+    def test_tiny_image(self):
+        assert len(detect_harris(np.zeros((4, 4)))) == 0
+
+    def test_scores_sorted(self, rng):
+        image = rng.random((64, 64))
+        kp = detect_harris(image, HarrisConfig(relative_threshold=0.05))
+        assert np.all(np.diff(kp.scores) <= 0)
+
+    def test_max_keypoints_cap(self, rng):
+        image = rng.random((64, 64)) * 5
+        kp = detect_harris(image, HarrisConfig(relative_threshold=0.001,
+                                               max_keypoints=7))
+        assert len(kp) <= 7
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            detect_harris(np.zeros((8, 8, 3)))
+
+
+class TestDetectorDispatch:
+    def test_config_rejects_unknown_detector(self):
+        from repro.core.config import BBAlignConfig
+        with pytest.raises(ValueError):
+            BBAlignConfig(keypoint_detector="sift")
+
+    @pytest.mark.parametrize("detector", ["fast", "harris",
+                                          "phase_congruency"])
+    def test_matcher_dispatches(self, detector, frame_pair):
+        from repro.core.bv_matching import BVMatcher
+        from repro.core.config import BBAlignConfig
+        matcher = BVMatcher(BBAlignConfig(keypoint_detector=detector))
+        features = matcher.extract_from_cloud(frame_pair.ego_cloud)
+        # All detectors produce keypoints on a real scene.
+        assert len(features.keypoints) > 0

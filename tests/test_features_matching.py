@@ -1,0 +1,92 @@
+"""Tests for repro.features.matching."""
+
+import numpy as np
+import pytest
+
+from repro.features.descriptors import DescriptorSet
+from repro.features.matching import MatchResult, match_descriptors
+
+
+def make_set(vectors, positions=None):
+    vectors = np.asarray(vectors, dtype=float)
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    vectors = vectors / norms
+    n = len(vectors)
+    if positions is None:
+        positions = np.arange(2 * n, dtype=float).reshape(n, 2)
+    return DescriptorSet(vectors, np.asarray(positions, dtype=float),
+                         np.arange(n), np.zeros(n, dtype=int))
+
+
+class TestMatching:
+    def test_identical_sets_match_one_to_one(self, rng):
+        vectors = rng.random((10, 16))
+        a, b = make_set(vectors), make_set(vectors)
+        result = match_descriptors(a, b, ratio=1.0)
+        assert len(result) == 10
+        np.testing.assert_array_equal(result.src_indices,
+                                      result.dst_indices)
+        np.testing.assert_allclose(result.distances, 0.0, atol=1e-6)
+
+    def test_permuted_sets_recover_permutation(self, rng):
+        vectors = rng.random((8, 16))
+        perm = rng.permutation(8)
+        a = make_set(vectors)
+        b = make_set(vectors[perm])
+        result = match_descriptors(a, b, ratio=1.0)
+        for s, d in zip(result.src_indices, result.dst_indices):
+            assert perm[d] == s
+
+    def test_empty_sets(self):
+        empty = DescriptorSet.empty(16)
+        assert len(match_descriptors(empty, empty)) == 0
+
+    def test_ratio_test_prunes_ambiguous(self, rng):
+        base = rng.random(16)
+        # Source descriptor equidistant from two near-identical targets.
+        a = make_set([base])
+        b = make_set([base + 1e-3 * rng.random(16),
+                      base + 1e-3 * rng.random(16)])
+        strict = match_descriptors(a, b, ratio=0.5, mutual=False)
+        loose = match_descriptors(a, b, ratio=1.0, mutual=False)
+        assert len(strict) == 0
+        assert len(loose) == 1
+
+    def test_mutual_check(self, rng):
+        # dst[0] is closest to both src rows; mutual keeps only the
+        # reciprocal pair.
+        v = rng.random(16)
+        a = make_set([v, v + 0.01])
+        b = make_set([v])
+        mutual = match_descriptors(a, b, ratio=1.0, mutual=True)
+        non_mutual = match_descriptors(a, b, ratio=1.0, mutual=False)
+        assert len(mutual) == 1
+        assert len(non_mutual) == 2
+
+    def test_max_distance_cutoff(self, rng):
+        a = make_set([[1.0] + [0.0] * 15])
+        b = make_set([[0.0] * 15 + [1.0]])
+        assert len(match_descriptors(a, b, ratio=1.0,
+                                     max_distance=0.5)) == 0
+
+    def test_positions_carried_through(self, rng):
+        vectors = rng.random((5, 8))
+        pos_a = rng.random((5, 2)) * 100
+        pos_b = rng.random((5, 2)) * 100
+        a = make_set(vectors, pos_a)
+        b = make_set(vectors, pos_b)
+        result = match_descriptors(a, b, ratio=1.0)
+        np.testing.assert_allclose(result.src_xy,
+                                   pos_a[result.src_indices])
+        np.testing.assert_allclose(result.dst_xy,
+                                   pos_b[result.dst_indices])
+
+    def test_rejects_bad_ratio(self, rng):
+        a = make_set(rng.random((3, 8)))
+        with pytest.raises(ValueError):
+            match_descriptors(a, a, ratio=0.0)
+
+    def test_empty_result_type(self):
+        result = MatchResult.empty()
+        assert len(result) == 0

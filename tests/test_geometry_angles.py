@@ -1,0 +1,80 @@
+"""Tests for repro.geometry.angles."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.angles import (
+    angle_difference,
+    deg2rad,
+    normalize_angle,
+    rad2deg,
+    wrap_to_pi,
+)
+
+FINITE_ANGLE = st.floats(min_value=-1e6, max_value=1e6,
+                         allow_nan=False, allow_infinity=False)
+
+
+class TestWrapToPi:
+    def test_zero_unchanged(self):
+        assert wrap_to_pi(0.0) == 0.0
+
+    def test_pi_wraps_to_minus_pi(self):
+        assert wrap_to_pi(np.pi) == pytest.approx(-np.pi)
+
+    def test_small_angle_unchanged(self):
+        assert wrap_to_pi(0.5) == pytest.approx(0.5)
+
+    def test_full_turn_wraps_to_zero(self):
+        assert wrap_to_pi(2 * np.pi) == pytest.approx(0.0, abs=1e-12)
+
+    def test_array_input_returns_array(self):
+        result = wrap_to_pi(np.array([0.0, np.pi, 3 * np.pi]))
+        assert isinstance(result, np.ndarray)
+        np.testing.assert_allclose(result, [0.0, -np.pi, -np.pi])
+
+    def test_scalar_input_returns_python_float(self):
+        assert isinstance(wrap_to_pi(1.0), float)
+
+    @given(FINITE_ANGLE)
+    def test_always_in_range(self, angle):
+        wrapped = wrap_to_pi(angle)
+        assert -np.pi <= wrapped < np.pi
+
+    @given(FINITE_ANGLE)
+    def test_wrap_preserves_angle_mod_2pi(self, angle):
+        wrapped = wrap_to_pi(angle)
+        assert np.isclose(np.cos(wrapped), np.cos(angle), atol=1e-6)
+        assert np.isclose(np.sin(wrapped), np.sin(angle), atol=1e-6)
+
+    def test_normalize_is_alias(self):
+        assert normalize_angle(7.0) == wrap_to_pi(7.0)
+
+
+class TestAngleDifference:
+    def test_simple_difference(self):
+        assert angle_difference(0.5, 0.2) == pytest.approx(0.3)
+
+    def test_wraparound_difference(self):
+        # 179 deg vs -179 deg are 2 deg apart, not 358.
+        a, b = np.deg2rad(179), np.deg2rad(-179)
+        assert abs(angle_difference(a, b)) == pytest.approx(
+            np.deg2rad(2), abs=1e-9)
+
+    @given(FINITE_ANGLE, FINITE_ANGLE)
+    def test_antisymmetric_up_to_wrap(self, a, b):
+        d1 = angle_difference(a, b)
+        d2 = angle_difference(b, a)
+        # d1 == -d2 unless both sit exactly on the -pi boundary.
+        assert np.isclose(np.sin(d1), -np.sin(d2), atol=1e-6)
+        assert np.isclose(np.cos(d1), np.cos(d2), atol=1e-6)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert rad2deg(deg2rad(37.5)) == pytest.approx(37.5)
+
+    def test_known_value(self):
+        assert deg2rad(180.0) == pytest.approx(np.pi)

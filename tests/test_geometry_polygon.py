@@ -1,0 +1,184 @@
+"""Tests for repro.geometry.polygon."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.polygon import (
+    convex_hull,
+    convex_polygon_area,
+    convex_polygon_clip,
+    ensure_counterclockwise,
+    is_counterclockwise,
+    minimum_area_rectangle,
+)
+
+UNIT_SQUARE = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+
+
+class TestArea:
+    def test_unit_square(self):
+        assert convex_polygon_area(UNIT_SQUARE) == pytest.approx(1.0)
+
+    def test_triangle(self):
+        tri = np.array([[0, 0], [2, 0], [0, 2]], dtype=float)
+        assert convex_polygon_area(tri) == pytest.approx(2.0)
+
+    def test_winding_independent(self):
+        assert convex_polygon_area(UNIT_SQUARE[::-1]) == pytest.approx(1.0)
+
+    def test_degenerate(self):
+        assert convex_polygon_area(np.array([[0, 0], [1, 1]])) == 0.0
+
+
+class TestWinding:
+    def test_ccw_detection(self):
+        assert is_counterclockwise(UNIT_SQUARE)
+        assert not is_counterclockwise(UNIT_SQUARE[::-1])
+
+    def test_ensure_ccw_flips_cw(self):
+        fixed = ensure_counterclockwise(UNIT_SQUARE[::-1])
+        assert is_counterclockwise(fixed)
+
+
+class TestClip:
+    def test_identical_squares(self):
+        out = convex_polygon_clip(UNIT_SQUARE, UNIT_SQUARE)
+        assert convex_polygon_area(out) == pytest.approx(1.0)
+
+    def test_half_overlap(self):
+        shifted = UNIT_SQUARE + [0.5, 0.0]
+        out = convex_polygon_clip(UNIT_SQUARE, shifted)
+        assert convex_polygon_area(out) == pytest.approx(0.5)
+
+    def test_no_overlap(self):
+        shifted = UNIT_SQUARE + [5.0, 0.0]
+        out = convex_polygon_clip(UNIT_SQUARE, shifted)
+        assert convex_polygon_area(out) == 0.0
+
+    def test_contained_polygon(self):
+        small = UNIT_SQUARE * 0.5 + [0.25, 0.25]
+        out = convex_polygon_clip(small, UNIT_SQUARE)
+        assert convex_polygon_area(out) == pytest.approx(0.25)
+
+    def test_rotated_square_overlap(self):
+        c, s = np.cos(np.pi / 4), np.sin(np.pi / 4)
+        rot = np.array([[c, -s], [s, c]])
+        diamond = (UNIT_SQUARE - 0.5) @ rot.T + 0.5
+        out = convex_polygon_clip(UNIT_SQUARE, diamond)
+        # Octagon intersection area: 2*(sqrt(2)-1) for unit square/diamond.
+        assert convex_polygon_area(out) == pytest.approx(
+            2 * (np.sqrt(2) - 1), rel=1e-6)
+
+    def test_winding_insensitive(self):
+        out1 = convex_polygon_clip(UNIT_SQUARE, UNIT_SQUARE[::-1])
+        out2 = convex_polygon_clip(UNIT_SQUARE[::-1], UNIT_SQUARE)
+        assert convex_polygon_area(out1) == pytest.approx(1.0)
+        assert convex_polygon_area(out2) == pytest.approx(1.0)
+
+    @given(st.floats(-2, 2), st.floats(-2, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_area_bounded(self, dx, dy):
+        shifted = UNIT_SQUARE + [dx, dy]
+        area = convex_polygon_area(convex_polygon_clip(UNIT_SQUARE, shifted))
+        assert -1e-9 <= area <= 1.0 + 1e-9
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self, rng):
+        interior = rng.uniform(0.2, 0.8, (20, 2))
+        pts = np.vstack([UNIT_SQUARE, interior])
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert convex_polygon_area(hull) == pytest.approx(1.0)
+
+    def test_hull_is_ccw(self, rng):
+        pts = rng.normal(0, 5, (30, 2))
+        assert is_counterclockwise(convex_hull(pts))
+
+    def test_degenerate_two_points(self):
+        pts = np.array([[0, 0], [1, 1], [0, 0]], dtype=float)
+        hull = convex_hull(pts)
+        assert len(hull) == 2
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            convex_hull(np.zeros((3, 3)))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_all_points_inside_hull(self, seed):
+        pts = np.random.default_rng(seed).normal(0, 3, (25, 2))
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        # Every point is inside: clipping a tiny square at the point
+        # against the hull keeps positive area.
+        centroid = hull.mean(axis=0)
+        for p in pts:
+            # Point-in-convex-polygon via cross products.
+            ok = True
+            for i in range(len(hull)):
+                a, b = hull[i], hull[(i + 1) % len(hull)]
+                cross = (b[0] - a[0]) * (p[1] - a[1]) \
+                    - (b[1] - a[1]) * (p[0] - a[0])
+                if cross < -1e-7:
+                    ok = False
+                    break
+            assert ok
+
+
+class TestMinimumAreaRectangle:
+    def test_axis_aligned_rectangle(self):
+        pts = np.array([[0, 0], [4, 0], [4, 2], [0, 2], [2, 1]], dtype=float)
+        center, length, width, angle = minimum_area_rectangle(pts)
+        np.testing.assert_allclose(center, [2, 1], atol=1e-9)
+        assert length == pytest.approx(4.0)
+        assert width == pytest.approx(2.0)
+        assert np.isclose(np.mod(angle, np.pi), 0.0, atol=1e-9) or \
+            np.isclose(np.mod(angle, np.pi), np.pi, atol=1e-9)
+
+    def test_rotated_rectangle(self):
+        theta = 0.6
+        rot = np.array([[np.cos(theta), -np.sin(theta)],
+                        [np.sin(theta), np.cos(theta)]])
+        base = np.array([[-2.5, -1], [2.5, -1], [2.5, 1], [-2.5, 1]],
+                        dtype=float)
+        pts = base @ rot.T + [10.0, -3.0]
+        center, length, width, angle = minimum_area_rectangle(pts)
+        np.testing.assert_allclose(center, [10.0, -3.0], atol=1e-9)
+        assert length == pytest.approx(5.0)
+        assert width == pytest.approx(2.0)
+        assert np.mod(angle, np.pi) == pytest.approx(theta, abs=1e-9)
+
+    def test_length_is_major_axis(self, rng):
+        pts = rng.uniform(-1, 1, (40, 2)) * [10.0, 1.0]
+        _, length, width, _ = minimum_area_rectangle(pts)
+        assert length >= width
+
+    def test_single_point(self):
+        center, length, width, _ = minimum_area_rectangle(
+            np.array([[3.0, 4.0]]))
+        np.testing.assert_allclose(center, [3.0, 4.0])
+        assert length == 0.0 and width == 0.0
+
+    def test_collinear_points(self):
+        pts = np.array([[0, 0], [1, 1], [2, 2], [3, 3]], dtype=float)
+        center, length, width, angle = minimum_area_rectangle(pts)
+        assert width == pytest.approx(0.0, abs=1e-9)
+        assert length == pytest.approx(3 * np.sqrt(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            minimum_area_rectangle(np.empty((0, 2)))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_rectangle_contains_all_points(self, seed):
+        pts = np.random.default_rng(seed).normal(0, 4, (15, 2))
+        center, length, width, angle = minimum_area_rectangle(pts)
+        c, s = np.cos(-angle), np.sin(-angle)
+        local = (pts - center) @ np.array([[c, -s], [s, c]]).T
+        assert np.all(np.abs(local[:, 0]) <= length / 2 + 1e-7)
+        assert np.all(np.abs(local[:, 1]) <= width / 2 + 1e-7)

@@ -1,0 +1,110 @@
+"""Tests for repro.geometry.ransac."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.ransac import ransac_rigid_2d
+from repro.geometry.se2 import SE2
+
+
+def make_correspondences(rng, gt, n_inliers=30, n_outliers=0, noise=0.0):
+    src = rng.uniform(-30, 30, (n_inliers + n_outliers, 2))
+    dst = gt.apply(src)
+    if noise:
+        dst += rng.normal(0, noise, dst.shape)
+    if n_outliers:
+        dst[n_inliers:] = rng.uniform(-30, 30, (n_outliers, 2))
+    return src, dst
+
+
+class TestRansacCleanData:
+    def test_exact_recovery(self, rng):
+        gt = SE2(0.6, 4.0, -1.0)
+        src, dst = make_correspondences(rng, gt)
+        result = ransac_rigid_2d(src, dst, threshold=0.5, rng=rng)
+        assert result.success
+        assert result.num_inliers == 30
+        assert result.transform.is_close(gt, atol_translation=1e-6,
+                                         atol_rotation=1e-8)
+
+    def test_rmse_reported(self, rng):
+        gt = SE2(0.1, 1.0, 1.0)
+        src, dst = make_correspondences(rng, gt, noise=0.05)
+        result = ransac_rigid_2d(src, dst, threshold=0.5, rng=rng)
+        assert result.success
+        assert 0.0 < result.rmse < 0.15
+
+
+class TestRansacOutliers:
+    @pytest.mark.parametrize("n_outliers", [10, 30, 60])
+    def test_robust_to_outliers(self, rng, n_outliers):
+        gt = SE2(-0.9, 2.0, 7.0)
+        src, dst = make_correspondences(rng, gt, n_inliers=30,
+                                        n_outliers=n_outliers, noise=0.02)
+        result = ransac_rigid_2d(src, dst, threshold=0.3, rng=rng)
+        assert result.success
+        assert result.transform.translation_distance(gt) < 0.1
+        # Inlier mask should capture (at least most of) the true inliers.
+        assert result.inlier_mask[:30].sum() >= 25
+
+    def test_inlier_mask_aligned_with_inputs(self, rng):
+        gt = SE2(0.0, 5.0, 0.0)
+        src, dst = make_correspondences(rng, gt, n_inliers=20,
+                                        n_outliers=5)
+        result = ransac_rigid_2d(src, dst, threshold=0.2, rng=rng)
+        assert result.inlier_mask.shape == (25,)
+        assert result.num_inliers == int(result.inlier_mask.sum())
+
+
+class TestRansacEdgeCases:
+    def test_too_few_points_fails_gracefully(self, rng):
+        result = ransac_rigid_2d(np.zeros((1, 2)), np.zeros((1, 2)),
+                                 threshold=1.0, rng=rng)
+        assert not result.success
+        assert result.num_inliers == 0
+
+    def test_empty_input(self, rng):
+        result = ransac_rigid_2d(np.empty((0, 2)), np.empty((0, 2)),
+                                 threshold=1.0, rng=rng)
+        assert not result.success
+
+    def test_all_outliers_fails(self, rng):
+        src = rng.uniform(-10, 10, (20, 2))
+        dst = rng.uniform(-10, 10, (20, 2))
+        result = ransac_rigid_2d(src, dst, threshold=0.01,
+                                 min_inliers=5, rng=rng)
+        # Random pairings should not yield 5 points agreeing to 1 cm.
+        assert not result.success or result.num_inliers < 8
+
+    def test_coincident_points_skipped(self, rng):
+        # Degenerate samples (duplicate source points) must not crash.
+        src = np.zeros((10, 2))
+        src[5:] = [[1, 1]] * 5
+        dst = src + [2.0, 0.0]
+        result = ransac_rigid_2d(src, dst, threshold=0.5, rng=rng)
+        assert result.success
+        assert result.transform.translation_distance(SE2(0, 2, 0)) < 1e-6
+
+    def test_rejects_bad_threshold(self, rng):
+        with pytest.raises(ValueError):
+            ransac_rigid_2d(np.zeros((5, 2)), np.zeros((5, 2)),
+                            threshold=0.0, rng=rng)
+
+    def test_rejects_mismatched_shapes(self, rng):
+        with pytest.raises(ValueError):
+            ransac_rigid_2d(np.zeros((5, 2)), np.zeros((4, 2)), rng=rng)
+
+    def test_rejects_min_inliers_below_two(self, rng):
+        with pytest.raises(ValueError):
+            ransac_rigid_2d(np.zeros((5, 2)), np.zeros((5, 2)),
+                            min_inliers=1, rng=rng)
+
+    def test_deterministic_with_seed(self):
+        rng_data = np.random.default_rng(0)
+        gt = SE2(0.5, 1.0, 1.0)
+        src, dst = make_correspondences(rng_data, gt, n_inliers=15,
+                                        n_outliers=15)
+        r1 = ransac_rigid_2d(src, dst, threshold=0.3, rng=42)
+        r2 = ransac_rigid_2d(src, dst, threshold=0.3, rng=42)
+        assert r1.transform.is_close(r2.transform)
+        assert r1.num_inliers == r2.num_inliers

@@ -1,0 +1,112 @@
+"""Tests for repro.geometry.rigid (Kabsch / Umeyama)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rigid import kabsch_2d, kabsch_3d, umeyama_2d
+from repro.geometry.se2 import SE2
+from repro.geometry.se3 import SE3
+
+
+def random_points(rng, n=10, dim=2, spread=20.0):
+    return rng.uniform(-spread, spread, (n, dim))
+
+
+class TestKabsch2D:
+    def test_exact_recovery(self, rng):
+        gt = SE2(0.8, 3.0, -2.0)
+        src = random_points(rng)
+        est = kabsch_2d(src, gt.apply(src))
+        assert est.is_close(gt, atol_translation=1e-9, atol_rotation=1e-9)
+
+    @given(st.floats(-3, 3), st.floats(-50, 50), st.floats(-50, 50),
+           st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_recovery_property(self, theta, tx, ty, seed):
+        gt = SE2(theta, tx, ty)
+        src = random_points(np.random.default_rng(seed), n=6)
+        est = kabsch_2d(src, gt.apply(src))
+        assert est.translation_distance(gt) < 1e-6
+        assert est.rotation_distance(gt) < 1e-8
+
+    def test_noisy_recovery_is_least_squares(self, rng):
+        gt = SE2(0.3, 1.0, 1.0)
+        src = random_points(rng, n=200)
+        dst = gt.apply(src) + rng.normal(0, 0.05, src.shape)
+        est = kabsch_2d(src, dst)
+        assert est.translation_distance(gt) < 0.05
+        assert est.rotation_distance(gt) < 0.01
+
+    def test_weights_select_subset(self, rng):
+        gt = SE2(0.5, 2.0, 0.0)
+        src = random_points(rng, n=8)
+        dst = gt.apply(src)
+        dst[0] += 100.0  # gross outlier
+        weights = np.ones(8)
+        weights[0] = 0.0
+        est = kabsch_2d(src, dst, weights)
+        assert est.is_close(gt, atol_translation=1e-9, atol_rotation=1e-9)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            kabsch_2d(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_rejects_negative_weights(self, rng):
+        src = random_points(rng, n=3)
+        with pytest.raises(ValueError):
+            kabsch_2d(src, src, weights=np.array([1.0, -1.0, 1.0]))
+
+    def test_rejects_all_zero_weights(self, rng):
+        src = random_points(rng, n=3)
+        with pytest.raises(ValueError):
+            kabsch_2d(src, src, weights=np.zeros(3))
+
+    def test_single_point_gives_pure_translation(self):
+        est = kabsch_2d(np.array([[1.0, 1.0]]), np.array([[4.0, 5.0]]))
+        assert est.theta == pytest.approx(0.0)
+        np.testing.assert_allclose(est.apply([1.0, 1.0]), [4.0, 5.0])
+
+    def test_no_reflection(self, rng):
+        # Mirrored destinations must still produce det(R) = +1.
+        src = random_points(rng, n=12)
+        dst = src.copy()
+        dst[:, 0] *= -1.0
+        est = kabsch_2d(src, dst)
+        assert np.linalg.det(est.rotation) == pytest.approx(1.0)
+
+
+class TestUmeyama2D:
+    def test_without_scale_matches_kabsch(self, rng):
+        gt = SE2(0.4, 1.0, 2.0)
+        src = random_points(rng, n=15)
+        dst = gt.apply(src)
+        est, scale = umeyama_2d(src, dst, with_scale=False)
+        assert scale == 1.0
+        assert est.is_close(gt, atol_translation=1e-8, atol_rotation=1e-9)
+
+    def test_recovers_scale(self, rng):
+        gt = SE2(0.2, -1.0, 3.0)
+        true_scale = 2.5
+        src = random_points(rng, n=15)
+        dst = gt.apply(true_scale * src)
+        est, scale = umeyama_2d(src, dst, with_scale=True)
+        assert scale == pytest.approx(true_scale, rel=1e-9)
+
+    def test_degenerate_source_raises(self):
+        same = np.ones((4, 2))
+        with pytest.raises(ValueError):
+            umeyama_2d(same, same, with_scale=True)
+
+
+class TestKabsch3D:
+    def test_exact_recovery(self, rng):
+        gt = SE3.from_euler(0.5, 0.2, -0.1, (1.0, 2.0, 3.0))
+        src = random_points(rng, n=10, dim=3)
+        est = kabsch_3d(src, gt.apply(src))
+        np.testing.assert_allclose(est.matrix, gt.matrix, atol=1e-9)
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            kabsch_3d(np.zeros((2, 3)), np.zeros((2, 3)))

@@ -1,0 +1,98 @@
+"""Tests for repro.metrics.average_precision."""
+
+import numpy as np
+import pytest
+
+from repro.boxes.box import Box2D
+from repro.metrics.average_precision import average_precision, match_detections
+
+
+def car(x, y):
+    return Box2D(x, y, 4.5, 1.9, 0.0)
+
+
+class TestMatchDetections:
+    def test_perfect_matches(self):
+        gts = [car(0, 0), car(20, 0)]
+        dets = [car(0.1, 0), car(20.1, 0)]
+        tp = match_detections(dets, [0.9, 0.8], gts, iou_threshold=0.5)
+        assert tp.all()
+
+    def test_each_gt_claimed_once(self):
+        gts = [car(0, 0)]
+        dets = [car(0.05, 0), car(0.1, 0)]
+        tp = match_detections(dets, [0.9, 0.8], gts, 0.5)
+        assert tp.sum() == 1
+        assert tp[0]  # higher confidence wins
+
+    def test_low_iou_not_matched(self):
+        tp = match_detections([car(10, 10)], [0.9], [car(0, 0)], 0.5)
+        assert not tp.any()
+
+    def test_empty_inputs(self):
+        assert match_detections([], [], [car(0, 0)], 0.5).shape == (0,)
+        assert not match_detections([car(0, 0)], [0.5], [], 0.5).any()
+
+    def test_rejects_mismatched_scores(self):
+        with pytest.raises(ValueError):
+            match_detections([car(0, 0)], [0.5, 0.6], [], 0.5)
+
+
+class TestAveragePrecision:
+    def test_perfect_detector_ap_one(self):
+        frames = [([car(0, 0), car(20, 0)], np.array([0.9, 0.8]),
+                   [car(0, 0), car(20, 0)])]
+        result = average_precision(frames, 0.5)
+        assert result.ap == pytest.approx(1.0)
+
+    def test_no_detections_ap_zero(self):
+        frames = [([], np.array([]), [car(0, 0)])]
+        assert average_precision(frames, 0.5).ap == 0.0
+
+    def test_no_ground_truth_ap_nan(self):
+        frames = [([car(0, 0)], np.array([0.9]), [])]
+        assert np.isnan(average_precision(frames, 0.5).ap)
+
+    def test_false_positives_reduce_ap(self):
+        clean = [([car(0, 0)], np.array([0.9]), [car(0, 0)])]
+        with_fp = [([car(0, 0), car(50, 50)], np.array([0.5, 0.9]),
+                    [car(0, 0)])]
+        assert average_precision(with_fp, 0.5).ap \
+            < average_precision(clean, 0.5).ap
+
+    def test_missed_gt_reduces_ap(self):
+        frames = [([car(0, 0)], np.array([0.9]),
+                   [car(0, 0), car(30, 0)])]
+        result = average_precision(frames, 0.5)
+        assert result.ap == pytest.approx(0.5)
+
+    def test_confidence_ranking_matters(self):
+        # TP ranked above FP scores better than the reverse.
+        gts = [car(0, 0)]
+        good = [([car(0, 0), car(50, 0)], np.array([0.9, 0.1]), gts)]
+        bad = [([car(0, 0), car(50, 0)], np.array([0.1, 0.9]), gts)]
+        assert average_precision(good, 0.5).ap \
+            > average_precision(bad, 0.5).ap
+
+    def test_pooling_across_frames(self):
+        frames = [
+            ([car(0, 0)], np.array([0.9]), [car(0, 0)]),
+            ([], np.array([]), [car(0, 0)]),
+        ]
+        result = average_precision(frames, 0.5)
+        assert result.num_ground_truth == 2
+        assert result.ap == pytest.approx(0.5)
+
+    def test_monotone_in_iou_threshold(self):
+        frames = [([car(0.8, 0.3)], np.array([0.9]), [car(0, 0)])]
+        ap_50 = average_precision(frames, 0.5).ap
+        ap_70 = average_precision(frames, 0.7).ap
+        assert ap_70 <= ap_50
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            average_precision([], iou_threshold=0.0)
+
+    def test_ap_percent(self):
+        frames = [([car(0, 0)], np.array([0.9]), [car(0, 0)])]
+        assert average_precision(frames, 0.5).ap_percent == pytest.approx(100.0)

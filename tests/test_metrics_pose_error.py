@@ -1,0 +1,36 @@
+"""Tests for repro.metrics.pose_error."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.se2 import SE2
+from repro.metrics.pose_error import pose_errors
+
+
+class TestPoseErrors:
+    def test_zero_error(self):
+        t = SE2(0.5, 1.0, 2.0)
+        errors = pose_errors(t, t)
+        assert errors.translation == 0.0
+        assert errors.rotation_deg == 0.0
+
+    def test_known_errors(self):
+        gt = SE2(0.0, 0.0, 0.0)
+        est = SE2(np.deg2rad(2.0), 3.0, 4.0)
+        errors = pose_errors(est, gt)
+        assert errors.translation == pytest.approx(5.0)
+        assert errors.rotation_deg == pytest.approx(2.0)
+
+    def test_rotation_wraps(self):
+        gt = SE2(np.deg2rad(179.0), 0, 0)
+        est = SE2(np.deg2rad(-179.0), 0, 0)
+        assert pose_errors(est, gt).rotation_deg == pytest.approx(2.0)
+
+    def test_within_headline_criterion(self):
+        gt = SE2(0, 0, 0)
+        good = pose_errors(SE2(np.deg2rad(0.5), 0.3, 0.4), gt)
+        bad_t = pose_errors(SE2(0.0, 1.5, 0.0), gt)
+        bad_r = pose_errors(SE2(np.deg2rad(1.5), 0.0, 0.0), gt)
+        assert good.within()
+        assert not bad_t.within()
+        assert not bad_r.within()

@@ -1,0 +1,50 @@
+"""Tests for repro.noise.pose_noise."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.se2 import SE2
+from repro.noise.pose_noise import PoseNoiseModel, add_pose_noise
+
+
+class TestPoseNoiseModel:
+    def test_zero_noise_identity(self):
+        model = PoseNoiseModel(sigma_translation=0.0, sigma_rotation_deg=0.0)
+        pose = SE2(0.5, 1.0, 2.0)
+        assert model.corrupt(pose, rng=0).is_close(pose)
+
+    def test_noise_statistics(self):
+        model = PoseNoiseModel(sigma_translation=2.0, sigma_rotation_deg=2.0)
+        pose = SE2(0.0, 0.0, 0.0)
+        rng = np.random.default_rng(0)
+        xs = np.array([model.corrupt(pose, rng).tx for _ in range(500)])
+        assert abs(xs.mean()) < 0.3
+        assert xs.std() == pytest.approx(2.0, rel=0.2)
+
+    def test_failure_mode(self):
+        model = PoseNoiseModel(sigma_translation=0.0,
+                               sigma_rotation_deg=0.0,
+                               failure_prob=1.0, failure_radius=50.0)
+        pose = SE2(0.0, 0.0, 0.0)
+        corrupted = model.corrupt(pose, rng=1)
+        assert pose.translation_distance(corrupted) <= 50.0
+        # With prob 1 the pose is resampled; yaw is arbitrary.
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoseNoiseModel(sigma_translation=-1.0)
+        with pytest.raises(ValueError):
+            PoseNoiseModel(failure_prob=1.5)
+
+    def test_deterministic_with_seed(self):
+        model = PoseNoiseModel()
+        pose = SE2(0.2, 3.0, -1.0)
+        assert model.corrupt(pose, rng=9).is_close(model.corrupt(pose, rng=9))
+
+
+class TestAddPoseNoise:
+    def test_one_shot_helper(self):
+        pose = SE2(0.0, 0.0, 0.0)
+        noisy = add_pose_noise(pose, 2.0, 2.0, rng=3)
+        assert pose.translation_distance(noisy) > 0.0
+        assert pose.translation_distance(noisy) < 15.0

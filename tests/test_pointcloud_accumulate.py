@@ -1,0 +1,84 @@
+"""Tests for repro.pointcloud.accumulate."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.se2 import SE2
+from repro.pointcloud.accumulate import accumulate_scans
+from repro.pointcloud.cloud import PointCloud
+
+
+class TestAccumulateScans:
+    def test_single_cloud_identity(self, rng):
+        cloud = PointCloud(rng.normal(0, 10, (50, 3)))
+        submap = accumulate_scans([cloud], [SE2.identity()],
+                                  voxel_size=None)
+        np.testing.assert_allclose(submap.points, cloud.points)
+
+    def test_static_world_scans_align_exactly(self, rng):
+        """Scans of the same world points from different poses must fuse
+        back onto each other given exact odometry."""
+        world = rng.uniform(-30, 30, (200, 3))
+        poses = [SE2(0.0, 0.0, 0.0), SE2(0.1, 2.0, 0.3),
+                 SE2(0.2, 4.0, 0.6)]
+        clouds = []
+        for pose in poses:
+            xy = pose.inverse().apply(world[:, :2])
+            clouds.append(PointCloud(np.column_stack([xy, world[:, 2]])))
+        submap = accumulate_scans(clouds, poses, reference_index=-1,
+                                  voxel_size=0.05)
+        # All three scans collapse onto one copy of the world (expressed
+        # in the last pose's frame): deduped size ~ world size.
+        assert len(submap) <= len(world) * 1.05
+
+    def test_reference_frame_selection(self, rng):
+        world = rng.uniform(-20, 20, (100, 3))
+        poses = [SE2.identity(), SE2(0.0, 5.0, 0.0)]
+        clouds = []
+        for pose in poses:
+            xy = pose.inverse().apply(world[:, :2])
+            clouds.append(PointCloud(np.column_stack([xy, world[:, 2]])))
+        in_last = accumulate_scans(clouds, poses, reference_index=-1,
+                                   voxel_size=None)
+        in_first = accumulate_scans(clouds, poses, reference_index=0,
+                                    voxel_size=None)
+        # The two submaps differ exactly by the relative pose:
+        # p_last = (X_last^-1 @ X_first) p_first.
+        relative = poses[1].inverse() @ poses[0]
+        moved = in_first.transform(relative)
+
+        def sort_rows(points):
+            rounded = np.round(points, 6)
+            order = np.lexsort(rounded.T)
+            return rounded[order]
+
+        np.testing.assert_allclose(sort_rows(in_last.points),
+                                   sort_rows(moved.points), atol=1e-5)
+
+    def test_absolute_drift_cancels(self, rng):
+        """Shifting every odometry pose by a common transform leaves the
+        submap unchanged (only relative poses matter)."""
+        world = rng.uniform(-20, 20, (80, 3))
+        poses = [SE2(0.0, 0.0, 0.0), SE2(0.05, 2.0, 0.0)]
+        clouds = []
+        for pose in poses:
+            xy = pose.inverse().apply(world[:, :2])
+            clouds.append(PointCloud(np.column_stack([xy, world[:, 2]])))
+        drift = SE2(1.0, 100.0, -50.0)
+        drifted = [drift @ p for p in poses]
+        a = accumulate_scans(clouds, poses, voxel_size=None)
+        b = accumulate_scans(clouds, drifted, voxel_size=None)
+        np.testing.assert_allclose(a.points, b.points, atol=1e-9)
+
+    def test_voxel_dedup_reduces(self, rng):
+        cloud = PointCloud(rng.uniform(0, 1, (500, 3)))
+        submap = accumulate_scans([cloud, cloud],
+                                  [SE2.identity(), SE2.identity()],
+                                  voxel_size=0.2)
+        assert len(submap) < 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accumulate_scans([], [])
+        with pytest.raises(ValueError):
+            accumulate_scans([PointCloud.empty()], [])

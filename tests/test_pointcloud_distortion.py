@@ -1,0 +1,138 @@
+"""Tests for repro.pointcloud.distortion (Sec. IV-B physics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.distortion import (
+    MotionState,
+    apply_self_motion_distortion,
+    compensate_self_motion_distortion,
+)
+
+SPEEDS = st.floats(min_value=-20, max_value=20, allow_nan=False)
+RATES = st.floats(min_value=-0.5, max_value=0.5, allow_nan=False)
+
+
+class TestMotionState:
+    def test_speed(self):
+        assert MotionState(3.0, 4.0).speed == pytest.approx(5.0)
+
+    def test_pose_at_zero_time(self):
+        pose = MotionState(10.0, 0.0, 0.1).pose_at(0.0)
+        assert pose.translation_distance(pose) == 0.0
+        assert pose.tx == 0.0 and pose.theta == 0.0
+
+    def test_straight_line_motion(self):
+        pose = MotionState(10.0, 0.0, 0.0).pose_at(0.5)
+        assert pose.tx == pytest.approx(5.0)
+        assert pose.ty == pytest.approx(0.0)
+
+    def test_constant_twist_arc(self):
+        # Quarter circle: v = r*w; after t = (pi/2)/w the sensor is at
+        # (r, r) heading 90 degrees.
+        w, r = 0.5, 10.0
+        motion = MotionState(r * w, 0.0, w)
+        t = (np.pi / 2) / w
+        pose = motion.pose_at(t)
+        assert pose.theta == pytest.approx(np.pi / 2)
+        assert pose.tx == pytest.approx(r)
+        assert pose.ty == pytest.approx(r)
+
+    @given(SPEEDS, SPEEDS, RATES)
+    @settings(max_examples=30, deadline=None)
+    def test_pose_at_matches_numeric_integration(self, vx, vy, w):
+        motion = MotionState(vx, vy, w)
+        t_final = 0.1
+        steps = 2000
+        dt = t_final / steps
+        pos = np.zeros(2)
+        theta = 0.0
+        for _ in range(steps):
+            c, s = np.cos(theta), np.sin(theta)
+            pos += dt * np.array([c * vx - s * vy, s * vx + c * vy])
+            theta += dt * w
+        pose = motion.pose_at(t_final)
+        np.testing.assert_allclose([pose.tx, pose.ty], pos, atol=1e-4)
+        assert pose.theta == pytest.approx(theta, abs=1e-9)
+
+
+class TestDistortion:
+    def test_zero_motion_is_identity(self, rng):
+        cloud = PointCloud(rng.normal(0, 10, (50, 3)))
+        out = apply_self_motion_distortion(cloud, MotionState(), 0.1)
+        np.testing.assert_allclose(out.points, cloud.points, atol=1e-12)
+
+    def test_distortion_magnitude_bounded_by_motion(self, rng):
+        cloud = PointCloud(rng.normal(0, 20, (200, 3)))
+        motion = MotionState(velocity_x=10.0)
+        out = apply_self_motion_distortion(cloud, motion, 0.1)
+        displacement = np.linalg.norm(out.points[:, :2] - cloud.points[:, :2],
+                                      axis=1)
+        assert displacement.max() <= 10.0 * 0.1 + 1e-9
+
+    def test_sweep_start_points_undistorted(self):
+        # A point exactly behind the vehicle (azimuth -pi) is captured at
+        # t = 0 and must not move.
+        pts = np.array([[-10.0, -1e-9, 1.0]])
+        out = apply_self_motion_distortion(PointCloud(pts),
+                                           MotionState(10.0), 0.1)
+        np.testing.assert_allclose(out.points, pts, atol=1e-6)
+
+    def test_sweep_end_points_fully_distorted(self):
+        # A point just shy of azimuth +pi is captured at t ~ T: the sensor
+        # moved ~1 m forward, so the stored point shifts ~1 m backward.
+        pts = np.array([[-10.0, 1e-6, 1.0]])
+        out = apply_self_motion_distortion(PointCloud(pts),
+                                           MotionState(10.0), 0.1)
+        assert out.points[0, 0] == pytest.approx(-11.0, abs=1e-3)
+
+    def test_records_timestamps(self, rng):
+        cloud = PointCloud(rng.normal(0, 10, (30, 3)))
+        out = apply_self_motion_distortion(cloud, MotionState(5.0), 0.1)
+        assert out.timestamps is not None
+        assert np.all((out.timestamps >= 0) & (out.timestamps < 1))
+
+    def test_z_unchanged(self, rng):
+        cloud = PointCloud(rng.normal(0, 10, (30, 3)))
+        out = apply_self_motion_distortion(cloud, MotionState(8.0, 1.0, 0.2),
+                                           0.1)
+        np.testing.assert_allclose(out.z, cloud.z)
+
+    def test_empty_cloud(self):
+        out = apply_self_motion_distortion(PointCloud.empty(),
+                                           MotionState(5.0), 0.1)
+        assert len(out) == 0
+
+    def test_rejects_negative_duration(self, rng):
+        with pytest.raises(ValueError):
+            apply_self_motion_distortion(PointCloud(rng.normal(0, 1, (3, 3))),
+                                         MotionState(1.0), -0.1)
+
+
+class TestCompensation:
+    @given(SPEEDS, SPEEDS, RATES, st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_compensation_inverts_distortion(self, vx, vy, w, seed):
+        cloud = PointCloud(np.random.default_rng(seed).normal(0, 15, (40, 3)))
+        motion = MotionState(vx, vy, w)
+        distorted = apply_self_motion_distortion(cloud, motion, 0.1)
+        restored = compensate_self_motion_distortion(distorted, motion, 0.1)
+        np.testing.assert_allclose(restored.points, cloud.points, atol=1e-9)
+
+    def test_requires_timestamps(self, rng):
+        cloud = PointCloud(rng.normal(0, 1, (5, 3)))
+        with pytest.raises(ValueError):
+            compensate_self_motion_distortion(cloud, MotionState(1.0), 0.1)
+
+    def test_partial_compensation_leaves_residual(self, rng):
+        cloud = PointCloud(rng.normal(0, 15, (100, 3)))
+        motion = MotionState(10.0)
+        distorted = apply_self_motion_distortion(cloud, motion, 0.1)
+        partial = MotionState(7.0)  # 30 % error
+        restored = compensate_self_motion_distortion(distorted, partial, 0.1)
+        residual = np.linalg.norm(
+            restored.points[:, :2] - cloud.points[:, :2], axis=1)
+        assert 0.0 < residual.max() <= 0.3 + 1e-6

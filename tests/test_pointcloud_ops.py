@@ -1,0 +1,107 @@
+"""Tests for repro.pointcloud.ops."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud.cloud import PointCloud
+from repro.pointcloud.ops import (
+    crop_box,
+    crop_range,
+    merge_clouds,
+    remove_ground,
+    voxel_downsample,
+)
+
+
+class TestCropRange:
+    def test_keeps_points_inside(self):
+        pts = np.array([[1.0, 0.0, 0.0], [10.0, 0.0, 0.0], [0.0, 3.0, 9.0]])
+        out = crop_range(PointCloud(pts), max_range=5.0)
+        assert len(out) == 2
+
+    def test_xy_only_ignores_height(self):
+        pts = np.array([[1.0, 0.0, 100.0]])
+        assert len(crop_range(PointCloud(pts), 5.0, use_xy_only=True)) == 1
+        assert len(crop_range(PointCloud(pts), 5.0, use_xy_only=False)) == 0
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            crop_range(PointCloud.empty(), 0.0)
+
+
+class TestCropBox:
+    def test_box_limits(self):
+        pts = np.array([[0.0, 0.0, 0.0], [2.0, 2.0, 0.0], [-2.0, 0.0, 5.0]])
+        out = crop_box(PointCloud(pts), (-1, 1), (-1, 1))
+        assert len(out) == 1
+
+    def test_z_limits(self):
+        pts = np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 10.0]])
+        out = crop_box(PointCloud(pts), (-1, 1), (-1, 1), z_limits=(-1, 1))
+        assert len(out) == 1
+
+
+class TestRemoveGround:
+    def test_removes_low_points(self):
+        pts = np.array([[0, 0, 0.1], [0, 0, 0.3], [0, 0, 1.0]], dtype=float)
+        out = remove_ground(PointCloud(pts), ground_height=0.3)
+        assert len(out) == 1
+        assert out.z[0] == pytest.approx(1.0)
+
+
+class TestVoxelDownsample:
+    def test_collapses_dense_cluster(self, rng):
+        pts = rng.uniform(0, 0.05, (100, 3))  # all within one 0.1 m voxel
+        out = voxel_downsample(PointCloud(pts), voxel_size=0.1)
+        assert len(out) == 1
+
+    def test_keeps_separate_voxels(self):
+        pts = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        out = voxel_downsample(PointCloud(pts), voxel_size=0.5)
+        assert len(out) == 3
+
+    def test_preserves_channels(self, rng):
+        pts = rng.uniform(0, 10, (50, 3))
+        cloud = PointCloud(pts, rng.random(50),
+                           rng.integers(0, 5, 50).astype(np.int32))
+        out = voxel_downsample(cloud, 1.0)
+        assert out.timestamps is not None and out.labels is not None
+        assert len(out.timestamps) == len(out)
+
+    def test_empty_input(self):
+        assert len(voxel_downsample(PointCloud.empty(), 1.0)) == 0
+
+    def test_rejects_bad_voxel(self):
+        with pytest.raises(ValueError):
+            voxel_downsample(PointCloud.empty(), 0.0)
+
+    def test_never_increases_count(self, rng):
+        pts = rng.normal(0, 3, (200, 3))
+        out = voxel_downsample(PointCloud(pts), 0.5)
+        assert 0 < len(out) <= 200
+
+
+class TestMergeClouds:
+    def test_concatenates(self, rng):
+        a = PointCloud(rng.normal(0, 1, (5, 3)))
+        b = PointCloud(rng.normal(0, 1, (7, 3)))
+        assert len(merge_clouds(a, b)) == 12
+
+    def test_empty_inputs(self):
+        assert len(merge_clouds()) == 0
+        assert len(merge_clouds(PointCloud.empty(), PointCloud.empty())) == 0
+
+    def test_channels_survive_when_all_have_them(self, rng):
+        a = PointCloud(rng.normal(0, 1, (3, 3)), rng.random(3),
+                       np.zeros(3, dtype=np.int32))
+        b = PointCloud(rng.normal(0, 1, (2, 3)), rng.random(2),
+                       np.ones(2, dtype=np.int32))
+        merged = merge_clouds(a, b)
+        assert merged.timestamps is not None
+        assert list(merged.labels) == [0, 0, 0, 1, 1]
+
+    def test_channels_dropped_when_partial(self, rng):
+        a = PointCloud(rng.normal(0, 1, (3, 3)), rng.random(3))
+        b = PointCloud(rng.normal(0, 1, (2, 3)))
+        merged = merge_clouds(a, b)
+        assert merged.timestamps is None

@@ -1,0 +1,126 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that span module boundaries: frame-convention consistency,
+rigid-transform equivariance of the matching stack, and codec safety.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boxes.box import Box2D
+from repro.boxes.iou import bev_iou
+from repro.geometry.ransac import ransac_rigid_2d
+from repro.geometry.rigid import kabsch_2d
+from repro.geometry.se2 import SE2
+
+TRANSFORMS = st.builds(SE2,
+                       st.floats(-3.1, 3.1, allow_nan=False),
+                       st.floats(-50, 50, allow_nan=False),
+                       st.floats(-50, 50, allow_nan=False))
+
+
+class TestRigidEquivariance:
+    @given(TRANSFORMS, st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_kabsch_equivariant_under_common_transform(self, extra, seed):
+        """Transforming both point sets by the same rigid motion Q maps
+        the Kabsch solution T to Q T Q^-1."""
+        rng = np.random.default_rng(seed)
+        src = rng.uniform(-20, 20, (8, 2))
+        gt = SE2(0.4, 3.0, -1.0)
+        dst = gt.apply(src)
+        base = kabsch_2d(src, dst)
+        moved = kabsch_2d(extra.apply(src), extra.apply(dst))
+        expected = extra @ base @ extra.inverse()
+        assert moved.is_close(expected, atol_translation=1e-6,
+                              atol_rotation=1e-8)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_ransac_transform_maps_inliers(self, seed):
+        """Every reported inlier's residual under the reported transform
+        is within the threshold (the definition, enforced end to end)."""
+        rng = np.random.default_rng(seed)
+        gt = SE2(rng.uniform(-3, 3), *rng.uniform(-20, 20, 2))
+        src = rng.uniform(-30, 30, (25, 2))
+        dst = gt.apply(src)
+        dst[::5] += rng.uniform(5, 10, (5, 2))  # outliers
+        result = ransac_rigid_2d(src, dst, threshold=0.5, rng=seed)
+        if result.success:
+            residuals = np.linalg.norm(
+                result.transform.apply(src) - dst, axis=1)
+            assert np.all(residuals[result.inlier_mask] <= 0.5 + 1e-9)
+
+
+class TestIouProperties:
+    BOXES = st.builds(Box2D,
+                      st.floats(-10, 10, allow_nan=False),
+                      st.floats(-10, 10, allow_nan=False),
+                      st.floats(0.5, 8.0, allow_nan=False),
+                      st.floats(0.5, 8.0, allow_nan=False),
+                      st.floats(-3.1, 3.1, allow_nan=False))
+
+    @given(BOXES, BOXES)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, a, b):
+        assert bev_iou(a, b) == pytest.approx(bev_iou(b, a), abs=1e-9)
+
+    @given(BOXES)
+    @settings(max_examples=30, deadline=None)
+    def test_self_iou_one(self, box):
+        assert bev_iou(box, box) == pytest.approx(1.0, abs=1e-6)
+
+    @given(BOXES, BOXES, TRANSFORMS)
+    @settings(max_examples=30, deadline=None)
+    def test_rigid_invariance(self, a, b, transform):
+        before = bev_iou(a, b)
+        after = bev_iou(a.transform(transform), b.transform(transform))
+        assert after == pytest.approx(before, abs=1e-6)
+
+
+class TestFrameConventions:
+    @given(TRANSFORMS, st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_box_and_point_transforms_agree(self, transform, seed):
+        """Transforming a box and transforming its corners commute."""
+        rng = np.random.default_rng(seed)
+        box = Box2D(*rng.uniform(-10, 10, 2), 4.5, 1.9,
+                    rng.uniform(-3, 3))
+        via_box = box.transform(transform).corners()
+        via_points = transform.apply(box.corners())
+        np.testing.assert_allclose(via_box, via_points, atol=1e-9)
+
+    @given(TRANSFORMS)
+    @settings(max_examples=20, deadline=None)
+    def test_relative_pose_composition(self, other_pose):
+        """gt_relative convention: p_ego = T(p_other) when T =
+        X_ego^-1 @ X_other, for any world point."""
+        ego_pose = SE2(0.7, 10.0, -5.0)
+        relative = ego_pose.inverse() @ other_pose
+        world_point = np.array([3.0, 4.0])
+        in_other = other_pose.inverse().apply(world_point)
+        in_ego = ego_pose.inverse().apply(world_point)
+        np.testing.assert_allclose(relative.apply(in_other), in_ego,
+                                   atol=1e-6)
+
+
+class TestCodecProperties:
+    @given(st.integers(0, 300), st.integers(8, 48))
+    @settings(max_examples=20, deadline=None)
+    def test_encoded_size_bounded(self, seed, size):
+        """Worst case the codec costs ~3 bytes/pixel; typical sparse
+        images far less; never corrupts occupancy."""
+        from repro.bev.projection import BVImage
+        from repro.comms import decode_bv_image, encode_bv_image
+        rng = np.random.default_rng(seed)
+        image = np.zeros((size, size))
+        n = rng.integers(0, size * size // 2)
+        idx = rng.integers(0, size, (n, 2))
+        image[idx[:, 0], idx[:, 1]] = rng.uniform(0.1, 9.0, n)
+        bv = BVImage(image, 0.5, size * 0.25)
+        data = encode_bv_image(bv)
+        assert len(data) <= 3 * size * size + 64
+        decoded = decode_bv_image(data)
+        np.testing.assert_array_equal(decoded.image > 0, image > 0)

@@ -1,0 +1,145 @@
+"""Failure-injection and degenerate-input robustness tests.
+
+A plug-and-play module gets fed garbage in the field; every entry point
+must degrade gracefully (flagged failure, empty result) rather than
+crash or return a confident wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.boxes.box import Box2D, Box3D
+from repro.core.config import BBAlignConfig
+from repro.core.pipeline import BBAlign
+from repro.core.bv_matching import BVMatcher
+from repro.geometry.se2 import SE2
+from repro.pointcloud.cloud import PointCloud
+
+
+@pytest.fixture(scope="module")
+def aligner():
+    return BBAlign()
+
+
+def ground_only_cloud(n=5000, seed=0):
+    """A scan with nothing but ground returns (featureless open area)."""
+    rng = np.random.default_rng(seed)
+    xy = rng.uniform(-60, 60, (n, 2))
+    return PointCloud(np.column_stack([xy, np.zeros(n)]))
+
+
+class TestDegenerateClouds:
+    def test_empty_both(self, aligner):
+        result = aligner.recover(PointCloud.empty(), PointCloud.empty(),
+                                 [], [], rng=0)
+        assert not result.success
+        assert result.transform.is_close(SE2.identity())
+
+    def test_empty_one_side(self, aligner, frame_pair):
+        result = aligner.recover(frame_pair.ego_cloud, PointCloud.empty(),
+                                 [], [], rng=0)
+        assert not result.success
+
+    def test_ground_only_scene_flagged_failure(self, aligner):
+        """The paper's failure mode: vast open areas without landmarks."""
+        result = aligner.recover(ground_only_cloud(seed=1),
+                                 ground_only_cloud(seed=2), [], [], rng=0)
+        assert not result.success
+
+    def test_single_point_clouds(self, aligner):
+        one = PointCloud(np.array([[1.0, 2.0, 3.0]]))
+        result = aligner.recover(one, one, [], [], rng=0)
+        assert not result.success
+
+    def test_identical_clouds_match_at_identity(self, aligner, frame_pair):
+        result = aligner.recover(frame_pair.ego_cloud,
+                                 frame_pair.ego_cloud, [], [], rng=0)
+        assert result.stage1.success
+        assert result.stage1.transform.translation_distance(
+            SE2.identity()) < 0.5
+
+    def test_all_points_out_of_range(self, aligner):
+        far = PointCloud(np.full((100, 3), 1e6))
+        result = aligner.recover(far, far, [], [], rng=0)
+        assert not result.success
+
+
+class TestDegenerateBoxes:
+    def test_hundreds_of_false_boxes(self, aligner, frame_pair):
+        """A malfunctioning detector flooding boxes must not produce a
+        confidently wrong pose."""
+        rng = np.random.default_rng(3)
+        junk = [Box3D(*rng.uniform(-50, 50, 2), 0.8, 4.5, 1.9, 1.6,
+                      rng.uniform(-3, 3)) for _ in range(150)]
+        result = aligner.recover(frame_pair.ego_cloud,
+                                 frame_pair.other_cloud, junk, junk, rng=0)
+        # Stage 1 is unaffected; the combined answer must stay within the
+        # stage-2 correction guard of the stage-1 estimate.
+        drift = result.transform.translation_distance(
+            result.stage1.transform)
+        assert drift <= BBAlignConfig().box_align.max_correction_meters
+
+    def test_degenerate_thin_boxes(self, aligner, frame_pair):
+        thin = [Box2D(5.0, 5.0, 0.2, 0.1, 0.0)]
+        result = aligner.recover(frame_pair.ego_cloud,
+                                 frame_pair.other_cloud, thin, thin, rng=0)
+        assert result.stage1.success  # stage 1 untouched
+
+    def test_mixed_box_types(self, aligner, frame_pair):
+        boxes = [Box2D(1, 1, 4.0, 2.0, 0.0),
+                 Box3D(5, 5, 0.8, 4.0, 2.0, 1.6, 0.0)]
+        result = aligner.recover(frame_pair.ego_cloud,
+                                 frame_pair.other_cloud, boxes, [], rng=0)
+        assert result is not None
+
+
+class TestExtremeGeometry:
+    @pytest.mark.parametrize("yaw_deg", [-180.0, -90.0, 90.0, 179.9])
+    def test_extreme_relative_yaw_handled(self, yaw_deg):
+        """Synthetic pure-rotation pairs across the full yaw range."""
+        rng = np.random.default_rng(5)
+        parts = []
+        for _ in range(12):
+            x0, y0 = rng.uniform(-40, 40, 2)
+            ang = rng.uniform(0, np.pi)
+            t = np.linspace(0, rng.uniform(10, 25), 100)
+            for f in (0.4, 0.7, 1.0):
+                parts.append(np.stack([x0 + np.cos(ang) * t,
+                                       y0 + np.sin(ang) * t,
+                                       np.full_like(t, 8 * f)], 1))
+        world = np.vstack(parts)
+        gt = SE2(np.deg2rad(yaw_deg), 4.0, -2.0)
+        ego = PointCloud(world)
+        xy = gt.inverse().apply(world[:, :2])
+        other = PointCloud(np.column_stack([xy, world[:, 2]]))
+        matcher = BVMatcher(BBAlignConfig())
+        result = matcher.match_clouds(other, ego, rng=0)
+        assert result.success
+        assert np.degrees(result.transform.rotation_distance(gt)) < 3.0
+
+    def test_nan_points_rejected_or_ignored(self, aligner):
+        bad = np.zeros((10, 3))
+        bad[0] = np.nan
+        # NaNs must not crash the pipeline (they fall outside every BV
+        # cell and every box test).
+        result = aligner.recover(PointCloud(bad), PointCloud(bad), [], [],
+                                 rng=0)
+        assert not result.success
+
+
+class TestSuccessCriterionHonesty:
+    def test_failed_recoveries_not_reported_successful(self, aligner):
+        """Across hostile scenes, no flagged-successful recovery may be
+        wildly wrong (the criterion's purpose)."""
+        from repro.simulation import ScenarioConfig, WorldConfig, make_frame_pair
+        from repro.simulation.world import ScenarioKind
+        for seed in (1, 2, 3):
+            pair = make_frame_pair(ScenarioConfig(
+                world=WorldConfig(kind=ScenarioKind.OPEN),
+                distance=50.0), rng=seed)
+            result = aligner.recover(pair.ego_cloud, pair.other_cloud,
+                                     [v.box for v in pair.ego_visible],
+                                     [v.box for v in pair.other_visible],
+                                     rng=0)
+            if result.success:
+                assert result.translation_error(pair.gt_relative) < 5.0

@@ -1,0 +1,180 @@
+"""Tests for repro.simulation.lidar (the ray-casting scanner)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.se2 import SE2
+from repro.pointcloud.cloud import PointLabel
+from repro.pointcloud.distortion import MotionState
+from repro.simulation.lidar import LidarConfig, simulate_scan
+from repro.simulation.world import (
+    Building,
+    Pole,
+    SimVehicle,
+    Tree,
+    WorldModel,
+)
+from repro.boxes.box import Box3D
+
+
+def single_object_world(**kwargs) -> WorldModel:
+    defaults = dict(buildings=(), trees=(), poles=(), vehicles=(),
+                    extent=100.0)
+    defaults.update(kwargs)
+    return WorldModel(**defaults)
+
+
+class TestLidarConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_channels=0),
+        dict(elevation_min_deg=10, elevation_max_deg=5),
+        dict(max_range=0),
+        dict(dropout=1.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LidarConfig(**kwargs)
+
+    def test_elevations_ascending(self):
+        elev = LidarConfig(num_channels=8).elevations
+        assert len(elev) == 8
+        assert np.all(np.diff(elev) > 0)
+
+
+class TestScanGeometry:
+    def test_wall_hit_at_correct_distance(self):
+        wall = Building(20.0, 0.0, 0.5, 40.0, 0.0, 10.0)
+        world = single_object_world(buildings=(wall,))
+        cfg = LidarConfig(range_noise=0.0, dropout=0.0, include_ground=False)
+        cloud = simulate_scan(world, SE2.identity(), cfg, rng=0)
+        assert len(cloud) > 0
+        forward = cloud.points[np.abs(cloud.points[:, 1]) < 0.5]
+        # Front face of the wall is at x = 19.75.
+        assert np.min(forward[:, 0]) == pytest.approx(19.75, abs=0.1)
+
+    def test_heights_above_ground(self):
+        wall = Building(15.0, 0.0, 1.0, 30.0, 0.0, 8.0)
+        world = single_object_world(buildings=(wall,))
+        cfg = LidarConfig(range_noise=0.0, include_ground=False)
+        cloud = simulate_scan(world, SE2.identity(), cfg, rng=0)
+        assert cloud.z.min() >= -0.01
+        assert cloud.z.max() <= 8.01
+
+    def test_occlusion_near_blocks_far(self):
+        near = Building(10.0, 0.0, 0.5, 20.0, 0.0, 12.0)
+        far = Building(30.0, 0.0, 0.5, 20.0, 0.0, 12.0)
+        world = single_object_world(buildings=(near, far))
+        cfg = LidarConfig(range_noise=0.0, dropout=0.0, include_ground=False)
+        cloud = simulate_scan(world, SE2.identity(), cfg, rng=0)
+        ahead = cloud.points[(np.abs(cloud.points[:, 1]) < 5.0)
+                             & (cloud.points[:, 0] > 0)]
+        # The far building (equal height) is fully shadowed.
+        assert np.max(ahead[:, 0]) < 15.0
+
+    def test_beam_passes_over_low_obstacle(self):
+        low = Building(10.0, 0.0, 0.5, 20.0, 0.0, 1.0)   # 1 m fence
+        tall = Building(30.0, 0.0, 0.5, 20.0, 0.0, 15.0)
+        world = single_object_world(buildings=(low, tall))
+        cfg = LidarConfig(range_noise=0.0, dropout=0.0, include_ground=False)
+        cloud = simulate_scan(world, SE2.identity(), cfg, rng=0)
+        ahead = cloud.points[(np.abs(cloud.points[:, 1]) < 5.0)
+                             & (cloud.points[:, 0] > 20.0)]
+        assert len(ahead) > 0  # tall building visible over the fence
+        # Every return behind the fence must belong to a beam that was
+        # above the fence top where it crossed the fence plane (x=9.75).
+        sensor_h = cfg.sensor_height
+        z_at_fence = sensor_h + (9.75 / ahead[:, 0]) * (ahead[:, 2]
+                                                        - sensor_h)
+        assert z_at_fence.min() > 1.0 - 0.05
+
+    def test_beam_passes_under_crown(self):
+        tree = Tree(x=10.0, y=0.0, trunk_radius=0.01, crown_radius=3.0,
+                    crown_base=3.0, height=8.0)
+        tall = Building(30.0, 0.0, 0.5, 20.0, 0.0, 15.0)
+        world = single_object_world(trees=(tree,), buildings=(tall,))
+        cfg = LidarConfig(range_noise=0.0, dropout=0.0, include_ground=False)
+        cloud = simulate_scan(world, SE2.identity(), cfg, rng=0)
+        behind = cloud.points[(np.abs(cloud.points[:, 1]) < 2.0)
+                              & (cloud.points[:, 0] > 25.0)]
+        # Low beams pass under the crown and reach the wall behind.
+        assert len(behind) > 0
+        assert behind[:, 2].min() < 3.0
+
+    def test_ground_returns(self):
+        world = single_object_world()
+        cfg = LidarConfig(range_noise=0.0, dropout=0.0, include_ground=True)
+        cloud = simulate_scan(world, SE2.identity(), cfg, rng=0)
+        assert len(cloud) > 0
+        assert np.all(cloud.labels == int(PointLabel.GROUND))
+        np.testing.assert_allclose(cloud.z, 0.0, atol=1e-9)
+
+    def test_vehicle_returns_labeled(self):
+        box = Box3D(12.0, 0.0, 0.8, 4.5, 1.9, 1.6, 0.0)
+        world = single_object_world(
+            vehicles=(SimVehicle(box, 0.0, 0),))
+        cfg = LidarConfig(range_noise=0.0, dropout=0.0, include_ground=False)
+        cloud = simulate_scan(world, SE2.identity(), cfg, rng=0)
+        assert len(cloud) > 0
+        assert set(cloud.labels.tolist()) == {int(PointLabel.VEHICLE)}
+
+    def test_sensor_pose_changes_viewpoint(self):
+        wall = Building(20.0, 0.0, 0.5, 40.0, 0.0, 10.0)
+        world = single_object_world(buildings=(wall,))
+        cfg = LidarConfig(range_noise=0.0, dropout=0.0, include_ground=False)
+        from_origin = simulate_scan(world, SE2.identity(), cfg, rng=0)
+        from_closer = simulate_scan(world, SE2(0.0, 10.0, 0.0), cfg, rng=0)
+        # Same wall appears ~10 m closer in the second scan.
+        d0 = np.min(from_origin.points[
+            np.abs(from_origin.points[:, 1]) < 0.5, 0])
+        d1 = np.min(from_closer.points[
+            np.abs(from_closer.points[:, 1]) < 0.5, 0])
+        assert d0 - d1 == pytest.approx(10.0, abs=0.3)
+
+
+class TestScanStatistics:
+    def test_range_noise_applied(self):
+        wall = Building(20.0, 0.0, 0.5, 40.0, 0.0, 10.0)
+        world = single_object_world(buildings=(wall,))
+        noisy_cfg = LidarConfig(range_noise=0.1, dropout=0.0,
+                                include_ground=False)
+        clean_cfg = LidarConfig(range_noise=0.0, dropout=0.0,
+                                include_ground=False)
+        noisy = simulate_scan(world, SE2.identity(), noisy_cfg, rng=1)
+        clean = simulate_scan(world, SE2.identity(), clean_cfg, rng=1)
+        assert len(noisy) == len(clean)
+        assert np.std(noisy.points[:, 0] - clean.points[:, 0]) > 0.01
+
+    def test_dropout_reduces_points(self, small_world):
+        full = simulate_scan(small_world, SE2.identity(),
+                             LidarConfig(dropout=0.0), rng=0)
+        dropped = simulate_scan(small_world, SE2.identity(),
+                                LidarConfig(dropout=0.5), rng=0)
+        assert len(dropped) < len(full) * 0.7
+
+    def test_timestamps_cover_sweep(self, small_scan):
+        assert small_scan.timestamps is not None
+        assert small_scan.timestamps.min() >= 0.0
+        assert small_scan.timestamps.max() < 1.0
+        assert small_scan.timestamps.max() > 0.8  # sweep mostly covered
+
+    def test_motion_distortion_changes_points(self, small_world):
+        cfg = LidarConfig(range_noise=0.0, dropout=0.0)
+        static = simulate_scan(small_world, SE2.identity(), cfg, rng=0)
+        moving = simulate_scan(small_world, SE2.identity(), cfg, rng=0,
+                               motion=MotionState(velocity_x=12.0))
+        assert len(static) == len(moving)
+        displacement = np.linalg.norm(
+            static.points[:, :2] - moving.points[:, :2], axis=1)
+        assert displacement.max() > 0.5
+        assert displacement.max() <= 12.0 * cfg.scan_duration + 1e-6
+
+    def test_empty_world_no_obstacle_returns(self):
+        cfg = LidarConfig(include_ground=False)
+        cloud = simulate_scan(single_object_world(), SE2.identity(), cfg,
+                              rng=0)
+        assert len(cloud) == 0
+
+    def test_deterministic_with_seed(self, small_world):
+        a = simulate_scan(small_world, SE2.identity(), LidarConfig(), rng=4)
+        b = simulate_scan(small_world, SE2.identity(), LidarConfig(), rng=4)
+        np.testing.assert_array_equal(a.points, b.points)

@@ -1,0 +1,62 @@
+"""Tests for repro.simulation.multi."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.multi import MultiScenarioConfig, make_multi_frame
+from repro.simulation.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return make_multi_frame(MultiScenarioConfig(
+        scenario=ScenarioConfig(distance=20.0),
+        num_vehicles=3, spacing=18.0, same_direction_prob=1.0), rng=4)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiScenarioConfig(num_vehicles=1)
+        with pytest.raises(ValueError):
+            MultiScenarioConfig(spacing=0.0)
+
+
+class TestMakeMultiFrame:
+    def test_shapes(self, frame):
+        assert frame.num_vehicles == 3
+        assert len(frame.clouds) == 3
+        assert len(frame.visible) == 3
+        assert len(frame.motions) == 3
+
+    def test_clouds_nonempty(self, frame):
+        for cloud in frame.clouds:
+            assert len(cloud) > 1000
+
+    def test_spacing_roughly_respected(self, frame):
+        for i in range(frame.num_vehicles - 1):
+            a, b = frame.poses[i], frame.poses[i + 1]
+            gap = np.hypot(a.tx - b.tx, a.ty - b.ty)
+            assert 8.0 < gap < 40.0
+
+    def test_gt_relative_composition(self, frame):
+        t01 = frame.gt_relative(0, 1)
+        t12 = frame.gt_relative(1, 2)
+        t02 = frame.gt_relative(0, 2)
+        assert (t01 @ t12).is_close(t02, atol_translation=1e-9)
+
+    def test_partners_visible_to_each_other(self, frame):
+        """Consecutive vehicles ~18 m apart must see each other's body
+        (negative reserved ids)."""
+        seen_by_0 = {v.vehicle_id for v in frame.visible[0]}
+        assert any(vid < 0 for vid in seen_by_0)
+
+    def test_no_self_observation(self, frame):
+        for i, visible in enumerate(frame.visible):
+            assert -(i + 1) not in {v.vehicle_id for v in visible}
+
+    def test_deterministic(self):
+        config = MultiScenarioConfig(num_vehicles=2, spacing=15.0)
+        a = make_multi_frame(config, rng=3)
+        b = make_multi_frame(config, rng=3)
+        assert a.poses == b.poses

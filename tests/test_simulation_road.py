@@ -1,0 +1,65 @@
+"""Tests for repro.simulation.road."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.road import RoadModel, make_road
+
+
+class TestMakeRoad:
+    def test_origin_pose(self):
+        road = make_road(length=200.0, rng=0)
+        pose = road.pose_at(0.0)
+        assert abs(pose.tx) < 1.0 and abs(pose.ty) < 1.0
+        assert abs(pose.theta) < 0.05
+
+    def test_length(self):
+        road = make_road(length=300.0, rng=1)
+        assert road.length == pytest.approx(300.0, abs=2.0)
+
+    def test_straight_road_at_zero_curvature(self):
+        road = make_road(length=100.0, max_curvature=0.0, rng=0)
+        np.testing.assert_allclose(road.heading, 0.0, atol=1e-12)
+        np.testing.assert_allclose(road.xy[:, 1], 0.0, atol=1e-9)
+
+    def test_arc_length_parameterization(self):
+        """Distance along the centerline matches the arc parameter."""
+        road = make_road(length=200.0, max_curvature=0.004, rng=3, step=0.5)
+        seg = np.linalg.norm(np.diff(road.xy, axis=0), axis=1)
+        np.testing.assert_allclose(seg, 0.5, atol=0.01)
+
+    def test_curvature_bounded(self):
+        road = make_road(length=400.0, max_curvature=0.004, rng=5, step=1.0)
+        dheading = np.abs(np.diff(road.heading))
+        assert dheading.max() <= 0.004 * 1.0 + 1e-9
+
+    def test_lateral_offset_perpendicular(self):
+        road = make_road(length=100.0, rng=2)
+        on = road.pose_at(10.0, 0.0)
+        left = road.pose_at(10.0, 2.0)
+        delta = np.array([left.tx - on.tx, left.ty - on.ty])
+        assert np.linalg.norm(delta) == pytest.approx(2.0, abs=1e-6)
+        tangent = np.array([np.cos(on.theta), np.sin(on.theta)])
+        assert abs(delta @ tangent) < 1e-6
+
+    def test_clamps_out_of_range_s(self):
+        road = make_road(length=100.0, rng=0)
+        pose = road.pose_at(1e6)
+        assert np.isfinite(pose.tx)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_road(length=-1.0)
+        with pytest.raises(ValueError):
+            make_road(max_curvature=-0.1)
+
+
+class TestRoadModel:
+    def test_rejects_inconsistent_arrays(self):
+        with pytest.raises(ValueError):
+            RoadModel(np.array([0.0, 1.0]), np.zeros((3, 2)),
+                      np.zeros(2))
+
+    def test_rejects_non_monotonic_s(self):
+        with pytest.raises(ValueError):
+            RoadModel(np.array([0.0, 0.0]), np.zeros((2, 2)), np.zeros(2))

@@ -1,0 +1,117 @@
+"""Tests for repro.simulation.scenario."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.se2 import SE2
+from repro.simulation.scenario import (
+    EGO_VEHICLE_ID,
+    OTHER_VEHICLE_ID,
+    ScenarioConfig,
+    make_frame_pair,
+)
+
+
+class TestScenarioConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(distance=-1.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(same_direction_prob=2.0)
+
+    def test_heterogeneous_default_sensors(self):
+        cfg = ScenarioConfig()
+        assert cfg.ego_lidar.num_channels != cfg.other_lidar.num_channels
+
+
+class TestMakeFramePair:
+    def test_distance_close_to_target(self, frame_pair):
+        assert frame_pair.distance == pytest.approx(25.0, abs=3.0)
+
+    def test_gt_relative_consistent_with_poses(self, frame_pair):
+        expected = frame_pair.ego_pose.inverse() @ frame_pair.other_pose
+        assert frame_pair.gt_relative.is_close(expected,
+                                               atol_translation=1e-9)
+
+    def test_scans_nonempty(self, frame_pair):
+        assert len(frame_pair.ego_cloud) > 1000
+        assert len(frame_pair.other_cloud) > 1000
+
+    def test_scans_in_own_frames(self, frame_pair):
+        """The partner's body must appear in each scan roughly at the
+        relative-pose location."""
+        gt = frame_pair.gt_relative
+        # Other car's position in the ego frame:
+        partner_pos = np.array([gt.tx, gt.ty])
+        from repro.pointcloud.cloud import PointLabel
+        vehicle_pts = frame_pair.ego_cloud.points[
+            frame_pair.ego_cloud.labels == int(PointLabel.VEHICLE)][:, :2]
+        dists = np.linalg.norm(vehicle_pts - partner_pos, axis=1)
+        assert dists.min() < 4.0
+
+    def test_visible_objects_have_min_points(self, frame_pair):
+        cfg = ScenarioConfig(distance=25.0)
+        for obj in frame_pair.ego_visible:
+            assert obj.num_points >= cfg.min_visible_points
+
+    def test_no_self_observation(self, frame_pair):
+        assert all(v.vehicle_id != EGO_VEHICLE_ID
+                   for v in frame_pair.ego_visible)
+        assert all(v.vehicle_id != OTHER_VEHICLE_ID
+                   for v in frame_pair.other_visible)
+
+    def test_partner_bodies_observable(self, frame_pair):
+        # At 25 m separation each car should see its partner.
+        ego_sees = {v.vehicle_id for v in frame_pair.ego_visible}
+        other_sees = {v.vehicle_id for v in frame_pair.other_visible}
+        assert OTHER_VEHICLE_ID in ego_sees
+        assert EGO_VEHICLE_ID in other_sees
+
+    def test_common_vehicles_excludes_partners(self, frame_pair):
+        assert all(v >= 0 for v in frame_pair.common_vehicle_ids)
+
+    def test_visible_boxes_near_truth(self, frame_pair):
+        """GT visibility boxes (with residual distortion) stay within a
+        meter of the undistorted ground truth."""
+        inv = frame_pair.ego_pose.inverse()
+        world_boxes = {v.vehicle_id: v.box
+                       for v in frame_pair.world.vehicles}
+        for obj in frame_pair.ego_visible:
+            if obj.vehicle_id in world_boxes:
+                truth = world_boxes[obj.vehicle_id].transform(inv)
+                offset = np.hypot(obj.box.center_x - truth.center_x,
+                                  obj.box.center_y - truth.center_y)
+                assert offset < 1.0
+
+    def test_deterministic(self):
+        a = make_frame_pair(ScenarioConfig(distance=30.0), rng=3)
+        b = make_frame_pair(ScenarioConfig(distance=30.0), rng=3)
+        assert a.gt_relative.is_close(b.gt_relative)
+        np.testing.assert_array_equal(a.ego_cloud.points,
+                                      b.ego_cloud.points)
+
+    def test_oncoming_pairs_face_each_other(self):
+        pair = make_frame_pair(
+            ScenarioConfig(distance=30.0, same_direction_prob=0.0), rng=2)
+        relative_yaw = abs(np.degrees(pair.gt_relative.theta))
+        assert relative_yaw > 150.0
+
+    def test_same_direction_pairs_aligned(self):
+        pair = make_frame_pair(
+            ScenarioConfig(distance=30.0, same_direction_prob=1.0), rng=2)
+        relative_yaw = abs(np.degrees(pair.gt_relative.theta))
+        assert relative_yaw < 30.0
+
+    def test_full_compensation_removes_residual(self):
+        """With motion_compensation_error=0 visible boxes match ground
+        truth exactly (up to nothing — no distortion applied to them)."""
+        pair = make_frame_pair(
+            ScenarioConfig(distance=20.0, motion_compensation_error=0.0),
+            rng=5)
+        inv = pair.ego_pose.inverse()
+        world_boxes = {v.vehicle_id: v.box for v in pair.world.vehicles}
+        for obj in pair.ego_visible:
+            if obj.vehicle_id in world_boxes:
+                truth = world_boxes[obj.vehicle_id].transform(inv)
+                assert np.hypot(obj.box.center_x - truth.center_x,
+                                obj.box.center_y - truth.center_y) < 1e-9

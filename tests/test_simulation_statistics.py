@@ -1,0 +1,33 @@
+"""Tests for repro.simulation.statistics."""
+
+import numpy as np
+
+from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
+from repro.simulation.statistics import (
+    compute_dataset_statistics,
+    format_dataset_stats,
+)
+
+
+class TestDatasetStatistics:
+    def test_basic_characterization(self, tiny_dataset):
+        stats = compute_dataset_statistics(tiny_dataset, max_pairs=3)
+        assert stats.num_pairs == 3
+        assert 0.0 <= stats.selection_rate <= 1.0
+        assert stats.points_per_scan_mean > 1000
+        assert 0.5 <= stats.bv_sparsity_mean <= 1.0
+        assert sum(stats.scenario_counts.values()) == 3
+        assert 0.0 <= stats.oncoming_fraction <= 1.0
+
+    def test_distance_percentiles_within_config(self):
+        dataset = V2VDatasetSim(DatasetConfig(
+            num_pairs=3, seed=8, distance_range=(15.0, 30.0)))
+        stats = compute_dataset_statistics(dataset)
+        assert 10.0 <= stats.distance_percentiles[10]
+        assert stats.distance_percentiles[90] <= 40.0
+
+    def test_format(self, tiny_dataset):
+        stats = compute_dataset_statistics(tiny_dataset, max_pairs=2)
+        text = format_dataset_stats(stats)
+        assert "selection rate" in text
+        assert "sparsity" in text

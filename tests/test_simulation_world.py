@@ -1,0 +1,86 @@
+"""Tests for repro.simulation.world."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.world import (
+    Building,
+    ScenarioKind,
+    WorldConfig,
+    generate_world,
+)
+
+
+class TestBuilding:
+    def test_wall_segments_closed_loop(self):
+        b = Building(0, 0, 10.0, 6.0, 0.3, 8.0)
+        walls = b.wall_segments()
+        assert walls.shape == (4, 2, 2)
+        # Each wall ends where the next begins.
+        for k in range(4):
+            np.testing.assert_allclose(walls[k, 1], walls[(k + 1) % 4, 0])
+
+    def test_wall_lengths(self):
+        b = Building(5, -3, 10.0, 6.0, 1.0, 8.0)
+        walls = b.wall_segments()
+        lengths = np.linalg.norm(walls[:, 1] - walls[:, 0], axis=1)
+        assert sorted(np.round(lengths, 6).tolist()) == [6.0, 6.0, 10.0, 10.0]
+
+
+class TestWorldConfig:
+    def test_presets_differ(self):
+        urban = WorldConfig(kind=ScenarioKind.URBAN).resolved()
+        openk = WorldConfig(kind=ScenarioKind.OPEN).resolved()
+        assert urban.building_density > openk.building_density
+        assert urban.traffic_density > openk.traffic_density
+
+    def test_override_keeps_explicit_values(self):
+        cfg = WorldConfig(kind=ScenarioKind.URBAN, building_density=99.0,
+                          override_densities=True).resolved()
+        assert cfg.building_density == 99.0
+
+
+class TestGenerateWorld:
+    def test_deterministic(self):
+        a = generate_world(WorldConfig(), rng=7)
+        b = generate_world(WorldConfig(), rng=7)
+        assert len(a.buildings) == len(b.buildings)
+        assert a.buildings[0] == b.buildings[0]
+
+    def test_carries_road(self):
+        world = generate_world(WorldConfig(), rng=1)
+        assert world.road is not None
+        assert world.extent == pytest.approx(world.road.length / 2, abs=2.0)
+
+    def test_density_presets_reflected(self):
+        urban = generate_world(WorldConfig(kind=ScenarioKind.URBAN), rng=3)
+        openw = generate_world(WorldConfig(kind=ScenarioKind.OPEN), rng=3)
+        assert len(urban.buildings) > len(openw.buildings)
+        assert len(urban.vehicles) > len(openw.vehicles)
+
+    def test_vehicles_do_not_overlap(self):
+        world = generate_world(WorldConfig(kind=ScenarioKind.URBAN), rng=11)
+        centers = np.array([[v.box.center_x, v.box.center_y]
+                            for v in world.vehicles])
+        if len(centers) >= 2:
+            dists = np.linalg.norm(centers[:, None] - centers[None], axis=2)
+            np.fill_diagonal(dists, np.inf)
+            assert dists.min() >= 6.0 - 1e-9
+
+    def test_vehicle_ids_unique(self):
+        world = generate_world(WorldConfig(), rng=13)
+        ids = [v.vehicle_id for v in world.vehicles]
+        assert len(ids) == len(set(ids))
+
+    def test_moving_vehicles_have_speed(self):
+        world = generate_world(WorldConfig(kind=ScenarioKind.HIGHWAY), rng=5)
+        moving = [v for v in world.vehicles if v.is_moving]
+        assert all(v.velocity > 0 for v in moving)
+
+    def test_objects_near_road_corridor(self):
+        world = generate_world(WorldConfig(corridor_length=200.0), rng=9)
+        road = world.road
+        for tree in world.trees:
+            # Trees sit within the corridor band around the centerline.
+            dists = np.linalg.norm(road.xy - [tree.x, tree.y], axis=1)
+            assert dists.min() < 25.0

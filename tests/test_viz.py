@@ -1,0 +1,98 @@
+"""Tests for repro.viz (headless rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.bev.mim import compute_mim
+from repro.bev.projection import BVImage, height_map
+from repro.features.matching import MatchResult
+from repro.viz import (
+    render_bv_ascii,
+    render_bv_image,
+    render_match_image,
+    render_mim_image,
+    render_scene_ascii,
+    render_scene_image,
+    save_pgm,
+)
+
+
+class TestPgm:
+    def test_writes_readable_pgm(self, tmp_path, rng):
+        image = rng.random((20, 30))
+        path = save_pgm(image, tmp_path / "out.pgm")
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n30 20\n255\n")
+        assert len(data) == len(b"P5\n30 20\n255\n") + 20 * 30
+
+    def test_uint8_passthrough(self, tmp_path):
+        image = np.arange(256, dtype=np.uint8).reshape(16, 16)
+        path = save_pgm(image, tmp_path / "raw.pgm")
+        assert path.read_bytes()[-256:] == image.tobytes()
+
+    def test_constant_image(self, tmp_path):
+        save_pgm(np.full((4, 4), 3.0), tmp_path / "c.pgm")  # no crash
+
+    def test_rejects_3d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(np.zeros((4, 4, 3)), tmp_path / "x.pgm")
+
+
+class TestAscii:
+    def test_bv_ascii_dimensions(self, small_scan):
+        bv = height_map(small_scan, 0.8, 76.8)
+        art = render_bv_ascii(bv, width=60)
+        lines = art.split("\n")
+        assert all(len(line) == 60 for line in lines)
+        assert len(lines) >= 2
+
+    def test_bv_ascii_empty(self):
+        art = render_bv_ascii(BVImage(np.zeros((32, 32)), 1.0, 16.0))
+        assert set(art) <= {" ", "\n"}
+
+    def test_bv_ascii_structure_visible(self, small_scan):
+        bv = height_map(small_scan, 0.8, 76.8)
+        art = render_bv_ascii(bv)
+        assert any(ch not in " \n" for ch in art)
+
+    def test_scene_ascii(self, small_world):
+        art = render_scene_ascii(small_world, half_extent=80.0, width=60)
+        assert "B" in art       # buildings drawn
+        assert "E" in art       # ego marker
+
+
+class TestRender:
+    def test_bv_image_uint8(self, small_scan):
+        bv = height_map(small_scan, 0.8, 76.8)
+        image = render_bv_image(bv)
+        assert image.dtype == np.uint8
+        assert image.max() > 0
+
+    def test_mim_image_masks_empty(self, small_scan):
+        bv = height_map(small_scan, 0.8, 76.8)
+        mim = compute_mim(bv)
+        image = render_mim_image(mim)
+        assert image.dtype == np.uint8
+        # Empty regions render black.
+        assert (image == 0).sum() > image.size // 4
+
+    def test_match_image_layout(self, small_scan):
+        bv = height_map(small_scan, 0.8, 76.8)
+        matches = MatchResult(
+            src_indices=np.array([0]), dst_indices=np.array([0]),
+            distances=np.array([0.1]),
+            src_xy=np.array([[10.0, 10.0]]),
+            dst_xy=np.array([[20.0, 20.0]]))
+        image = render_match_image(bv, bv, matches)
+        assert image.shape[1] == 2 * bv.size + 8
+        assert image.max() == 255  # the correspondence line
+
+    def test_scene_image_with_boxes(self, frame_pair):
+        boxes = [[v.box.to_bev() for v in frame_pair.ego_visible]]
+        image = render_scene_image(
+            [frame_pair.ego_cloud,
+             frame_pair.other_cloud.transform(frame_pair.gt_relative)],
+            boxes=boxes)
+        assert image.dtype == np.uint8
+        if boxes[0]:
+            assert (image == 255).sum() > 0  # box outlines drawn
