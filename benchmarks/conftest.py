@@ -4,15 +4,21 @@ The pose-recovery figure benches are all views over one sweep; it is
 computed once per session at benchmark scale and shared.  Every bench
 writes the paper-style text artifact it regenerates into
 ``benchmarks/results/`` so the reproduction outputs survive the run.
+
+Set ``REPRO_SWEEP_WORKERS`` to shard the session sweep (and every
+registry-run experiment) over that many processes; results are identical
+to the serial run.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.experiments.common import default_dataset, run_pose_recovery_sweep
+from repro.experiments.registry import get_spec
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -20,12 +26,30 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 # enough to keep the whole bench suite in minutes.
 SWEEP_PAIRS = 40
 SWEEP_SEED = 2024
+SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
 
 
 @pytest.fixture(scope="session")
 def sweep_outcomes():
     dataset = default_dataset(SWEEP_PAIRS, SWEEP_SEED)
-    return run_pose_recovery_sweep(dataset, include_vips=True)
+    return run_pose_recovery_sweep(dataset, include_vips=True,
+                                   workers=SWEEP_WORKERS)
+
+
+@pytest.fixture(scope="session")
+def run_experiment():
+    """Run a registered experiment by name at benchmark scale.
+
+    Extra keyword arguments go straight to the runner (for studies with
+    parameters beyond the uniform convention).
+    """
+    def _run(name: str, num_pairs: int, seed: int = SWEEP_SEED, **extra):
+        spec = get_spec(name)
+        if extra:
+            return spec.runner(num_pairs=num_pairs, seed=seed,
+                               workers=SWEEP_WORKERS, **extra)
+        return spec.run(num_pairs, seed, workers=SWEEP_WORKERS)
+    return _run
 
 
 @pytest.fixture(scope="session")

@@ -7,13 +7,14 @@ the headline metric (fraction of pairs recovered under 1 m).
 
 import numpy as np
 
-from repro.experiments.ablations import format_ablations, run_ablations
+from repro.experiments.registry import get_spec
 
 
-def test_ablations(benchmark, save_artifact):
-    result = benchmark.pedantic(run_ablations, kwargs=dict(num_pairs=16),
+def test_ablations(benchmark, run_experiment, save_artifact):
+    result = benchmark.pedantic(run_experiment, args=("ablations",),
+                                kwargs=dict(num_pairs=16),
                                 rounds=1, iterations=1)
-    save_artifact("ablations", format_ablations(result))
+    save_artifact("ablations", get_spec("ablations").format(result))
 
     by_name = {row.name: row for row in result.rows}
     full = by_name["full system"]

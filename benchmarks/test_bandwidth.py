@@ -1,12 +1,14 @@
 """Bench: the Sec. III bandwidth claim (BV image + boxes vs raw cloud)."""
 
-from repro.experiments.bandwidth import format_bandwidth, run_bandwidth
+from repro.experiments.registry import get_spec
 
 
-def test_bandwidth(benchmark, save_artifact):
-    result = benchmark.pedantic(run_bandwidth, kwargs=dict(num_pairs=10),
+def test_bandwidth(benchmark, run_experiment, save_artifact):
+    result = benchmark.pedantic(run_experiment,
+                                args=("bandwidth",),
+                                kwargs=dict(num_pairs=10),
                                 rounds=1, iterations=1)
-    save_artifact("bandwidth", format_bandwidth(result))
+    save_artifact("bandwidth", get_spec("bandwidth").format(result))
     benchmark.extra_info["reduction_dense"] = result.reduction_factor_dense
     benchmark.extra_info["reduction_encoded"] = \
         result.reduction_factor_encoded

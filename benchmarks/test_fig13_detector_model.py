@@ -1,12 +1,13 @@
 """Bench: regenerate Fig. 13 (impact of the detection model)."""
 
-from repro.experiments.fig13_detector_model import format_fig13, run_fig13
+from repro.experiments.registry import get_spec
 
 
-def test_fig13_detector_model(benchmark, save_artifact):
-    result = benchmark.pedantic(run_fig13, kwargs=dict(num_pairs=20),
+def test_fig13_detector_model(benchmark, run_experiment, save_artifact):
+    result = benchmark.pedantic(run_experiment, args=("fig13",),
+                                kwargs=dict(num_pairs=20),
                                 rounds=1, iterations=1)
-    save_artifact("fig13_detector_model", format_fig13(result))
+    save_artifact("fig13_detector_model", get_spec("fig13").format(result))
     # Paper shape: the model choice plays a minor role — both profiles
     # land in a similar accuracy band.
     frac = {name: cdf.fraction_below(1.0)

@@ -1,12 +1,13 @@
 """Bench: the ICP comparison backing the paper's Sec. II claims."""
 
-from repro.experiments.icp_study import format_icp_study, run_icp_study
+from repro.experiments.registry import get_spec
 
 
-def test_icp_study(benchmark, save_artifact):
-    result = benchmark.pedantic(run_icp_study, kwargs=dict(num_pairs=12),
+def test_icp_study(benchmark, run_experiment, save_artifact):
+    result = benchmark.pedantic(run_experiment, args=("icp",),
+                                kwargs=dict(num_pairs=12),
                                 rounds=1, iterations=1)
-    save_artifact("icp_study", format_icp_study(result))
+    save_artifact("icp_study", get_spec("icp").format(result))
     benchmark.extra_info["cold_icp"] = result.cold_icp_under_1m
     benchmark.extra_info["bb_align"] = result.bb_align_under_1m
     # Paper claim: without a prior pose, raw registration is unusable.

@@ -2,17 +2,15 @@
 
 import numpy as np
 
-from repro.experiments.multi_study import (
-    format_multi_study,
-    run_multi_study,
-)
+from repro.experiments.registry import get_spec
 
 
-def test_multi_study(benchmark, save_artifact):
+def test_multi_study(benchmark, run_experiment, save_artifact):
     result = benchmark.pedantic(
-        run_multi_study, kwargs=dict(num_pairs=3, num_vehicles=3),
+        run_experiment, args=("multi",),
+        kwargs=dict(num_pairs=3, num_vehicles=3),
         rounds=1, iterations=1)
-    save_artifact("multi_study", format_multi_study(result))
+    save_artifact("multi_study", get_spec("multi").format(result))
     benchmark.extra_info["direct"] = result.direct_coverage
     benchmark.extra_info["graph"] = result.graph_coverage
     # The graph can only add coverage over direct pairwise edges.

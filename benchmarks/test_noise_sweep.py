@@ -2,14 +2,14 @@
 
 import numpy as np
 
-from repro.experiments.noise_sweep import format_noise_sweep, run_noise_sweep
+from repro.experiments.registry import get_spec
 
 
-def test_noise_sweep(benchmark, save_artifact):
-    result = benchmark.pedantic(run_noise_sweep,
+def test_noise_sweep(benchmark, run_experiment, save_artifact):
+    result = benchmark.pedantic(run_experiment, args=("noise-sweep",),
                                 kwargs=dict(num_pairs=10),
                                 rounds=1, iterations=1)
-    save_artifact("noise_sweep", format_noise_sweep(result))
+    save_artifact("noise_sweep", get_spec("noise-sweep").format(result))
 
     corrupted = list(result.corrupted_ap.values())
     recovered = list(result.recovered_ap.values())

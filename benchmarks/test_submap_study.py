@@ -1,16 +1,13 @@
 """Bench: the submap extension study (long-range matching)."""
 
-from repro.experiments.submap_study import (
-    format_submap_study,
-    run_submap_study,
-)
+from repro.experiments.registry import get_spec
 
 
-def test_submap_study(benchmark, save_artifact):
-    result = benchmark.pedantic(run_submap_study,
+def test_submap_study(benchmark, run_experiment, save_artifact):
+    result = benchmark.pedantic(run_experiment, args=("submap",),
                                 kwargs=dict(num_pairs=5),
                                 rounds=1, iterations=1)
-    save_artifact("submap_study", format_submap_study(result))
+    save_artifact("submap_study", get_spec("submap").format(result))
     benchmark.extra_info["single_success"] = result.single_success
     benchmark.extra_info["submap_success"] = result.submap_success
     # Accumulation must not hurt long-range matching.

@@ -3,13 +3,14 @@ recovered pose)."""
 
 import numpy as np
 
-from repro.experiments.table1_detection import format_table1, run_table1
+from repro.experiments.registry import get_spec
 
 
-def test_table1_detection(benchmark, save_artifact):
-    result = benchmark.pedantic(run_table1, kwargs=dict(num_pairs=24),
+def test_table1_detection(benchmark, run_experiment, save_artifact):
+    result = benchmark.pedantic(run_experiment, args=("table1",),
+                                kwargs=dict(num_pairs=24),
                                 rounds=1, iterations=1)
-    save_artifact("table1_detection", format_table1(result))
+    save_artifact("table1_detection", get_spec("table1").format(result))
     benchmark.extra_info["recovery_success"] = result.recovery_success_rate
 
     # Paper shape 1: recovery improves AP@0.5 for the methods overall.

@@ -1,17 +1,14 @@
 """Bench: the temporal tracking extension study."""
 
-from repro.experiments.tracking_study import (
-    format_tracking_study,
-    run_tracking_study,
-)
+from repro.experiments.registry import get_spec
 
 
-def test_tracking_study(benchmark, save_artifact):
+def test_tracking_study(benchmark, run_experiment, save_artifact):
     result = benchmark.pedantic(
-        run_tracking_study,
+        run_experiment, args=("tracking",),
         kwargs=dict(num_pairs=3, frames_per_sequence=6),
         rounds=1, iterations=1)
-    save_artifact("tracking_study", format_tracking_study(result))
+    save_artifact("tracking_study", get_spec("tracking").format(result))
     benchmark.extra_info["raw_coverage"] = result.raw_coverage
     benchmark.extra_info["tracked_coverage"] = result.tracked_coverage
     # Coasting on odometry must not lose usable coverage.

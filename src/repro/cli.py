@@ -4,11 +4,16 @@ Usage::
 
     python -m repro list
     python -m repro fig7 --pairs 100 --seed 2024
+    python -m repro fig7 --pairs 100 --workers 4 --timings
     python -m repro table1 --pairs 40
     python -m repro all --pairs 40 --output results/
 
-Each experiment prints (and optionally saves) the same paper-style text
-the benchmarks produce, at whatever scale ``--pairs`` selects.
+Experiments are resolved through :mod:`repro.experiments.registry` —
+the CLI imports no experiment module directly; each registers itself as
+an :class:`~repro.experiments.registry.ExperimentSpec` on import.
+``--workers`` shards sweep-backed experiments over a process pool and
+``--timings`` prints the per-stage :class:`~repro.runtime.SweepTimings`
+report after each experiment.
 """
 
 from __future__ import annotations
@@ -16,70 +21,29 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import warnings
 from typing import Callable
 
-from repro.experiments.ablations import format_ablations, run_ablations
-from repro.experiments.bandwidth import format_bandwidth, run_bandwidth
-from repro.experiments.fig7_comparison import format_fig7, run_fig7
-from repro.experiments.fig8_common_cars import format_fig8, run_fig8
-from repro.experiments.fig9_inliers import format_fig9, run_fig9
-from repro.experiments.fig10_distance import format_fig10, run_fig10
-from repro.experiments.fig11_bv_distance import format_fig11, run_fig11
-from repro.experiments.fig12_box_common_cars import (
-    format_fig12,
-    run_fig12,
-)
-from repro.experiments.fig13_detector_model import format_fig13, run_fig13
-from repro.experiments.fig14_ablation import format_fig14, run_fig14
-from repro.experiments.icp_study import format_icp_study, run_icp_study
-from repro.experiments.multi_study import format_multi_study, run_multi_study
-from repro.experiments.noise_sweep import format_noise_sweep, run_noise_sweep
-from repro.experiments.submap_study import format_submap_study, run_submap_study
-from repro.experiments.success_rate import (
-    format_success_rate,
-    run_success_rate,
-)
-from repro.experiments.table1_detection import format_table1, run_table1
-from repro.simulation.statistics import format_dataset_stats, run_dataset_stats
-from repro.experiments.tracking_study import (
-    format_tracking_study,
-    run_tracking_study,
-)
+from repro.experiments.registry import all_specs, get_spec
+from repro.runtime.timings import collect_timings
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main"]
 
-# name -> (runner(num_pairs, seed) -> result, formatter, description)
-EXPERIMENTS: dict[str, tuple[Callable, Callable, str]] = {
-    "fig7": (run_fig7, format_fig7, "BB-Align vs VIPS error CDFs"),
-    "fig8": (run_fig8, format_fig8, "translation error vs common cars"),
-    "fig9": (run_fig9, format_fig9, "accuracy vs RANSAC inlier counts"),
-    "success-rate": (run_success_rate, format_success_rate,
-                     "Sec. V-A success-rate analysis"),
-    "fig10": (run_fig10, format_fig10, "accuracy vs distance"),
-    "fig11": (run_fig11, format_fig11, "stage-1-only accuracy vs distance"),
-    "fig12": (run_fig12, format_fig12,
-              "box-alignment accuracy vs common cars"),
-    "fig13": (run_fig13, format_fig13, "detector-model impact"),
-    "table1": (run_table1, format_table1,
-               "cooperative detection AP, noisy vs recovered pose"),
-    "fig14": (run_fig14, format_fig14, "box-alignment ablation"),
-    "bandwidth": (run_bandwidth, format_bandwidth,
-                  "message size vs raw point cloud"),
-    "ablations": (run_ablations, format_ablations,
-                  "design-choice ablations (extension)"),
-    "icp": (run_icp_study, format_icp_study,
-            "ICP comparison (Sec. II claims)"),
-    "tracking": (run_tracking_study, format_tracking_study,
-                 "temporal tracking over drive sequences (extension)"),
-    "multi": (run_multi_study, format_multi_study,
-              "multi-vehicle pose-graph alignment (extension)"),
-    "dataset-stats": (run_dataset_stats, format_dataset_stats,
-                      "simulated-dataset characterization"),
-    "submap": (run_submap_study, format_submap_study,
-               "submap accumulation at long range (extension)"),
-    "noise-sweep": (run_noise_sweep, format_noise_sweep,
-                    "AP vs pose-noise severity (extension)"),
-}
+
+def __getattr__(name: str):
+    # Pre-registry callers read a hand-maintained EXPERIMENTS table of
+    # (runner, formatter, description) tuples from this module; serve an
+    # equivalent view of the registry until they migrate.
+    if name == "EXPERIMENTS":
+        warnings.warn(
+            "repro.cli.EXPERIMENTS is deprecated; use "
+            "repro.experiments.registry (get_spec / all_specs) instead",
+            DeprecationWarning, stacklevel=2)
+        table: dict[str, tuple[Callable, Callable, str]] = {
+            spec.name: (spec.runner, spec.formatter, spec.description)
+            for spec in all_specs()}
+        return table
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,20 +59,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dataset pairs to evaluate (default 40)")
     common.add_argument("--seed", type=int, default=2024,
                         help="dataset seed (default 2024)")
+    common.add_argument("--workers", type=int, default=1,
+                        help="processes to shard sweeps over; 1 = serial "
+                             "(default), 0 = host CPU count")
+    common.add_argument("--timings", action="store_true",
+                        help="print the per-stage wall-time report")
     common.add_argument("--output", type=pathlib.Path, default=None,
                         help="directory to also write <name>.txt into")
 
-    for name, (_, _, description) in EXPERIMENTS.items():
-        sub.add_parser(name, parents=[common], help=description)
+    for spec in all_specs():
+        sub.add_parser(spec.name, parents=[common], help=spec.description)
     sub.add_parser("all", parents=[common],
                    help="run every experiment in sequence")
     return parser
 
 
-def _run_one(name: str, pairs: int, seed: int,
-             output: pathlib.Path | None) -> str:
-    runner, formatter, _ = EXPERIMENTS[name]
-    text = formatter(runner(num_pairs=pairs, seed=seed))
+def _run_one(name: str, pairs: int, seed: int, workers: int,
+             timings: bool, output: pathlib.Path | None) -> str:
+    spec = get_spec(name)
+    if timings:
+        with collect_timings() as report:
+            result = spec.run(pairs, seed, workers=workers)
+        text = spec.format(result) + "\n\n" + report.format()
+    else:
+        text = spec.format(spec.run(pairs, seed, workers=workers))
     if output is not None:
         output.mkdir(parents=True, exist_ok=True)
         (output / f"{name}.txt").write_text(text + "\n")
@@ -118,13 +92,16 @@ def _run_one(name: str, pairs: int, seed: int,
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        width = max(len(n) for n in EXPERIMENTS)
-        for name, (_, _, description) in EXPERIMENTS.items():
-            print(f"{name:<{width}}  {description}")
+        specs = all_specs()
+        width = max(len(spec.name) for spec in specs)
+        for spec in specs:
+            print(f"{spec.name:<{width}}  {spec.description}")
         return 0
-    names = list(EXPERIMENTS) if args.command == "all" else [args.command]
+    names = ([spec.name for spec in all_specs()]
+             if args.command == "all" else [args.command])
     for name in names:
-        print(_run_one(name, args.pairs, args.seed, args.output))
+        print(_run_one(name, args.pairs, args.seed, args.workers,
+                       args.timings, args.output))
         print()
     return 0
 

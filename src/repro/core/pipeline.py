@@ -15,6 +15,9 @@ and two detection lists and needs no prior pose and no training.
 
 from __future__ import annotations
 
+import contextlib
+from typing import Callable, ContextManager
+
 import numpy as np
 
 from repro.boxes.box import Box2D, Box3D
@@ -30,6 +33,14 @@ __all__ = ["BBAlign"]
 # Transmitting one BEV box costs five float32 values (x, y, length,
 # width, yaw); a 3-D box adds z and height.
 _BYTES_PER_BOX = 5 * 4
+
+# A stage timer is a factory of context managers keyed by stage name
+# (see repro.runtime.timings.stage); None disables instrumentation.
+StageTimer = Callable[[str], ContextManager]
+
+
+def _no_timing(_stage: str) -> ContextManager:
+    return contextlib.nullcontext()
 
 
 class BBAlign:
@@ -70,9 +81,20 @@ class BBAlign:
         return np.random.default_rng(rng)
 
     # ------------------------------------------------------------------
+    def extract_features(self, cloud: PointCloud) -> BVFeatures:
+        """Stage-1 feature extraction for one scan.
+
+        This is the memoization boundary the runtime layer caches:
+        extraction is a pure function of (cloud, configuration), consumes
+        no randomness, and dominates per-pair cost.  Pair it with
+        :meth:`recover_from_features` to reuse features across sweeps.
+        """
+        return self.bv_matcher.extract_from_cloud(cloud)
+
     def recover(self, ego_cloud: PointCloud, other_cloud: PointCloud,
                 ego_boxes, other_boxes,
-                rng: np.random.Generator | int | None = None) -> PoseRecoveryResult:
+                rng: np.random.Generator | int | None = None,
+                timer: StageTimer | None = None) -> PoseRecoveryResult:
         """Recover the relative pose from the other car to the ego car.
 
         Args:
@@ -82,35 +104,46 @@ class BBAlign:
             other_boxes: received detections in the other car's frame.
             rng: randomness for both RANSAC stages (defaults to the
                 config seed, making runs reproducible).
+            timer: optional stage-timer factory (see
+                :func:`repro.runtime.timings.stage`) recording
+                ``bv_extract`` / ``stage1_match`` / ``stage2_align``.
 
         Returns:
             A :class:`PoseRecoveryResult`; ``result.transform`` maps
             other-frame coordinates into the ego frame.
         """
-        ego_features = self.bv_matcher.extract_from_cloud(ego_cloud)
-        other_features = self.bv_matcher.extract_from_cloud(other_cloud)
+        with (timer or _no_timing)("bv_extract"):
+            ego_features = self.extract_features(ego_cloud)
+            other_features = self.extract_features(other_cloud)
         return self.recover_from_features(ego_features, other_features,
-                                          ego_boxes, other_boxes, rng=rng)
+                                          ego_boxes, other_boxes, rng=rng,
+                                          timer=timer)
 
     def recover_from_features(self, ego_features: BVFeatures,
                               other_features: BVFeatures,
                               ego_boxes, other_boxes,
                               rng: np.random.Generator | int | None = None,
+                              timer: StageTimer | None = None,
                               ) -> PoseRecoveryResult:
         """Like :meth:`recover` but with precomputed stage-1 features.
 
-        Useful when sweeping many "other" frames against one ego frame, or
-        for ablations that reuse extraction.
+        Useful when sweeping many "other" frames against one ego frame,
+        for ablations that reuse extraction, or with the runtime layer's
+        feature cache (:mod:`repro.runtime.cache`).
         """
+        timer = timer or _no_timing
         rng = self._rng(rng)
         ego_bev = self._to_bev_boxes(ego_boxes)
         other_bev = self._to_bev_boxes(other_boxes)
 
-        stage1 = self.bv_matcher.match(other_features, ego_features, rng=rng)
+        with timer("stage1_match"):
+            stage1 = self.bv_matcher.match(other_features, ego_features,
+                                           rng=rng)
 
         if self.config.enable_box_alignment and stage1.success:
-            stage2 = self.box_aligner.align(other_bev, ego_bev,
-                                            stage1.transform, rng=rng)
+            with timer("stage2_align"):
+                stage2 = self.box_aligner.align(other_bev, ego_bev,
+                                                stage1.transform, rng=rng)
         else:
             stage2 = BoxAlignment.skipped()
 

@@ -20,6 +20,19 @@ benchmark runs to paper-scale sweeps.
 | Bandwidth claim (Sec. III)      | :mod:`repro.experiments.bandwidth` |
 """
 
-from repro.experiments.common import PairOutcome, run_pose_recovery_sweep
+from repro.experiments.common import (
+    PairOutcome,
+    evaluate_pair,
+    run_pose_recovery_sweep,
+)
+from repro.experiments.registry import (
+    ExperimentSpec,
+    all_specs,
+    experiment_names,
+    get_spec,
+    register,
+)
 
-__all__ = ["PairOutcome", "run_pose_recovery_sweep"]
+__all__ = ["PairOutcome", "evaluate_pair", "run_pose_recovery_sweep",
+           "ExperimentSpec", "all_specs", "experiment_names", "get_spec",
+           "register"]

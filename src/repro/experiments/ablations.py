@@ -32,10 +32,11 @@ from repro.core.config import (
 )
 from repro.experiments.common import (
     PairOutcome,
-    default_dataset,
     run_pose_recovery_sweep,
 )
+from repro.experiments.registry import ExperimentSpec, register
 from repro.features.descriptors import BvftConfig
+from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
 
 __all__ = ["AblationRow", "AblationResult", "run_ablations",
            "format_ablations", "ablation_variants"]
@@ -107,13 +108,21 @@ def _summarize(name: str, outcomes: list[PairOutcome]) -> AblationRow:
     )
 
 
-def run_ablations(num_pairs: int = 24, seed: int = 2024) -> AblationResult:
-    """Run every variant over the same dataset."""
-    dataset = default_dataset(num_pairs, seed)
+def run_ablations(num_pairs: int = 24, seed: int = 2024, *,
+                  workers: int = 1) -> AblationResult:
+    """Run every variant over the same dataset.
+
+    Every variant revisits the same frame pairs, so the records are
+    memoized and variants that share an extraction configuration reuse
+    cached stage-1 features.
+    """
+    dataset = V2VDatasetSim(DatasetConfig(num_pairs=num_pairs, seed=seed),
+                            memoize_records=num_pairs)
     rows = []
     for name, config in ablation_variants().items():
         outcomes = run_pose_recovery_sweep(dataset, config=config,
-                                           include_vips=False)
+                                           include_vips=False,
+                                           workers=workers)
         rows.append(_summarize(name, outcomes))
     return AblationResult(rows=rows, num_pairs=num_pairs)
 
@@ -130,3 +139,9 @@ def format_ablations(result: AblationResult) -> str:
             f"{row.median_rotation_deg:6.2f}d | "
             f"{row.fraction_under_1m * 100:7.1f}%")
     return "\n".join(lines)
+
+
+register(ExperimentSpec(
+    name="ablations", runner=run_ablations, formatter=format_ablations,
+    description="design-choice ablations (extension)",
+    paper_artifact="extension"))

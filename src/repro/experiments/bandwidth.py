@@ -23,6 +23,7 @@ from repro.core.config import BBAlignConfig
 from repro.core.pipeline import BBAlign
 from repro.detection.simulated import SimulatedDetector
 from repro.experiments.common import default_dataset, detect_for_pair
+from repro.experiments.registry import ExperimentSpec, register
 
 __all__ = ["BandwidthResult", "run_bandwidth", "format_bandwidth",
            "compute_bandwidth"]
@@ -67,7 +68,7 @@ def compute_bandwidth(outcomes=None, *, num_pairs: int = 20,
     raw, dense, encoded = [], [], []
     for record in dataset:
         pair = record.pair
-        _, other_dets = detect_for_pair(pair, detector, seed + record.index)
+        _, other_dets = detect_for_pair(pair, detector, seed, record.index)
         bv = matcher.make_bv_image(pair.other_cloud)
         boxes = [d.box.to_bev() for d in other_dets]
         raw.append(BBAlign.raw_cloud_bytes(pair.other_cloud))
@@ -87,7 +88,9 @@ def compute_bandwidth(outcomes=None, *, num_pairs: int = 20,
     )
 
 
-def run_bandwidth(num_pairs: int = 12, seed: int = 2024) -> BandwidthResult:
+def run_bandwidth(num_pairs: int = 12, seed: int = 2024, *,
+                  workers: int = 1) -> BandwidthResult:
+    del workers  # size measurement is IO-free and fast; not sharded
     return compute_bandwidth(num_pairs=num_pairs, seed=seed)
 
 
@@ -103,3 +106,9 @@ def format_bandwidth(result: BandwidthResult) -> str:
         f"{result.encoded_message_mean / 1024:7.1f} KiB  "
         f"({result.reduction_factor_encoded:.1f}x smaller)",
     ])
+
+
+register(ExperimentSpec(
+    name="bandwidth", runner=run_bandwidth, formatter=format_bandwidth,
+    description="message size vs raw point cloud",
+    paper_artifact="Sec. III", parallelizable=False))

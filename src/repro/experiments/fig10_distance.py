@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.experiments.registry import ExperimentSpec, register
 from repro.metrics.aggregation import Cdf
 
 __all__ = ["Fig10Result", "run_fig10", "format_fig10", "DISTANCE_EDGES"]
@@ -45,9 +46,11 @@ def compute_fig10(outcomes: list[PairOutcome],
     return Fig10Result(translation, rotation, success_rate, len(outcomes))
 
 
-def run_fig10(num_pairs: int = 60, seed: int = 2024) -> Fig10Result:
+def run_fig10(num_pairs: int = 60, seed: int = 2024, *,
+              workers: int = 1) -> Fig10Result:
     dataset = default_dataset(num_pairs, seed)
-    outcomes = run_pose_recovery_sweep(dataset, include_vips=False)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=False,
+                                       workers=workers)
     return compute_fig10(outcomes)
 
 
@@ -65,3 +68,8 @@ def format_fig10(result: Fig10Result) -> str:
             f"P(rerr<1deg)={r.fraction_below(1.0) * 100 if n else float('nan'):5.1f} %")
     lines.append("  (paper: ~80 % under 1 m and 1 deg within 70 m)")
     return "\n".join(lines)
+
+
+register(ExperimentSpec(
+    name="fig10", runner=run_fig10, formatter=format_fig10,
+    description="accuracy vs distance", paper_artifact="Fig. 10"))

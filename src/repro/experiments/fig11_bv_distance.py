@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.experiments.registry import ExperimentSpec, register
 from repro.metrics.aggregation import Cdf
 
 __all__ = ["Fig11Result", "run_fig11", "format_fig11", "FINE_DISTANCE_EDGES"]
@@ -43,9 +44,11 @@ def compute_fig11(outcomes: list[PairOutcome],
     return Fig11Result(translation, rotation, len(outcomes))
 
 
-def run_fig11(num_pairs: int = 60, seed: int = 2024) -> Fig11Result:
+def run_fig11(num_pairs: int = 60, seed: int = 2024, *,
+              workers: int = 1) -> Fig11Result:
     dataset = default_dataset(num_pairs, seed)
-    outcomes = run_pose_recovery_sweep(dataset, include_vips=False)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=False,
+                                       workers=workers)
     return compute_fig11(outcomes)
 
 
@@ -64,3 +67,9 @@ def format_fig11(result: Fig11Result) -> str:
     lines.append("  (paper: shorter distance = higher accuracy; even the "
                  "best bin does not beat the full pipeline)")
     return "\n".join(lines)
+
+
+register(ExperimentSpec(
+    name="fig11", runner=run_fig11, formatter=format_fig11,
+    description="stage-1-only accuracy vs distance",
+    paper_artifact="Fig. 11"))

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.reporting import format_percentile_table
 from repro.metrics.aggregation import percentile_summary
 
@@ -44,9 +45,11 @@ def compute_fig14(outcomes: list[PairOutcome]) -> Fig14Result:
     return Fig14Result(translation, rotation, len(outcomes))
 
 
-def run_fig14(num_pairs: int = 60, seed: int = 2024) -> Fig14Result:
+def run_fig14(num_pairs: int = 60, seed: int = 2024, *,
+              workers: int = 1) -> Fig14Result:
     dataset = default_dataset(num_pairs, seed)
-    outcomes = run_pose_recovery_sweep(dataset, include_vips=False)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=False,
+                                       workers=workers)
     return compute_fig14(outcomes)
 
 
@@ -60,3 +63,8 @@ def format_fig14(result: Fig14Result) -> str:
         "  (paper: removing box alignment markedly increases translation "
         "error; rotation comparable)",
     ])
+
+
+register(ExperimentSpec(
+    name="fig14", runner=run_fig14, formatter=format_fig14,
+    description="box-alignment ablation", paper_artifact="Fig. 14"))

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.reporting import format_cdf_series
 from repro.metrics.aggregation import Cdf
 
@@ -50,10 +51,12 @@ def compute_fig7(outcomes: list[PairOutcome]) -> Fig7Result:
     )
 
 
-def run_fig7(num_pairs: int = 60, seed: int = 2024) -> Fig7Result:
+def run_fig7(num_pairs: int = 60, seed: int = 2024, *,
+             workers: int = 1) -> Fig7Result:
     """Run the Fig. 7 experiment end to end."""
     dataset = default_dataset(num_pairs, seed)
-    outcomes = run_pose_recovery_sweep(dataset, include_vips=True)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=True,
+                                       workers=workers)
     return compute_fig7(outcomes)
 
 
@@ -74,3 +77,8 @@ def format_fig7(result: Fig7Result) -> str:
         format_cdf_series("  VIPS rotation CDF (deg)", result.vips_rotation),
     ]
     return "\n".join(lines)
+
+
+register(ExperimentSpec(
+    name="fig7", runner=run_fig7, formatter=format_fig7,
+    description="BB-Align vs VIPS error CDFs", paper_artifact="Fig. 7"))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.reporting import format_percentile_table
 from repro.metrics.aggregation import percentile_summary
 
@@ -50,9 +51,11 @@ def compute_fig8(outcomes: list[PairOutcome]) -> Fig8Result:
     return Fig8Result(bb, vips, counts, len(outcomes))
 
 
-def run_fig8(num_pairs: int = 60, seed: int = 2024) -> Fig8Result:
+def run_fig8(num_pairs: int = 60, seed: int = 2024, *,
+             workers: int = 1) -> Fig8Result:
     dataset = default_dataset(num_pairs, seed)
-    outcomes = run_pose_recovery_sweep(dataset, include_vips=True)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=True,
+                                       workers=workers)
     return compute_fig8(outcomes)
 
 
@@ -67,3 +70,8 @@ def format_fig8(result: Fig8Result) -> str:
         "accurate)",
     ]
     return "\n".join(lines)
+
+
+register(ExperimentSpec(
+    name="fig8", runner=run_fig8, formatter=format_fig8,
+    description="translation error vs common cars", paper_artifact="Fig. 8"))

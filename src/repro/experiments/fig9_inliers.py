@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.common import PairOutcome, default_dataset, run_pose_recovery_sweep
+from repro.experiments.registry import ExperimentSpec, register
 from repro.metrics.aggregation import Cdf
 
 __all__ = ["Fig9Result", "run_fig9", "format_fig9", "derive_success_thresholds",
@@ -58,9 +59,11 @@ def compute_fig9(outcomes: list[PairOutcome]) -> Fig9Result:
     )
 
 
-def run_fig9(num_pairs: int = 60, seed: int = 2024) -> Fig9Result:
+def run_fig9(num_pairs: int = 60, seed: int = 2024, *,
+             workers: int = 1) -> Fig9Result:
     dataset = default_dataset(num_pairs, seed)
-    outcomes = run_pose_recovery_sweep(dataset, include_vips=False)
+    outcomes = run_pose_recovery_sweep(dataset, include_vips=False,
+                                       workers=workers)
     return compute_fig9(outcomes)
 
 
@@ -114,3 +117,8 @@ def derive_success_thresholds(outcomes: list[PairOutcome],
 
     return (smallest_threshold(lambda o: o.inliers_bv),
             smallest_threshold(lambda o: o.inliers_box))
+
+
+register(ExperimentSpec(
+    name="fig9", runner=run_fig9, formatter=format_fig9,
+    description="accuracy vs RANSAC inlier counts", paper_artifact="Fig. 9"))

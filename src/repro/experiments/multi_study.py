@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.multi import MultiVehicleAligner
 from repro.detection.simulated import SimulatedDetector
+from repro.experiments.registry import ExperimentSpec, register
 from repro.simulation.multi import MultiScenarioConfig, make_multi_frame
 from repro.simulation.scenario import ScenarioConfig
 
@@ -47,8 +48,10 @@ class MultiStudyResult:
 
 def run_multi_study(num_pairs: int = 4, seed: int = 2024,
                     num_vehicles: int = 3,
-                    spacing: float = 28.0) -> MultiStudyResult:
+                    spacing: float = 28.0, *,
+                    workers: int = 1) -> MultiStudyResult:
     """Run the study (``num_pairs`` = scene count, for CLI uniformity)."""
+    del workers  # K-vehicle graph solve is per-scene; not sharded
     num_scenes = max(num_pairs, 1)
     aligner = MultiVehicleAligner()
     detector = SimulatedDetector()
@@ -106,3 +109,9 @@ def format_multi_study(result: MultiStudyResult) -> str:
         f"{result.median_cycle_translation:.2f} m  (ground-truth-free "
         "consistency check)",
     ])
+
+
+register(ExperimentSpec(
+    name="multi", runner=run_multi_study, formatter=format_multi_study,
+    description="multi-vehicle pose-graph alignment (extension)",
+    paper_artifact="extension", parallelizable=False))

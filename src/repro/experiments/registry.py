@@ -1,0 +1,170 @@
+"""Declarative experiment registry.
+
+Every paper figure/table and every extension study registers itself as
+an :class:`ExperimentSpec` when its module is imported; the CLI, the
+benchmarks and ``python -m repro`` resolve experiments exclusively
+through this registry — no hand-maintained tuple tables, no
+per-experiment imports at call sites.
+
+Registering an experiment::
+
+    from repro.experiments.registry import ExperimentSpec, register
+
+    register(ExperimentSpec(
+        name="fig7",
+        runner=run_fig7,
+        formatter=format_fig7,
+        description="BB-Align vs VIPS error CDFs",
+        paper_artifact="Fig. 7",
+    ))
+
+Runners follow the uniform calling convention
+``run_*(num_pairs, seed, *, workers)``.  :meth:`ExperimentSpec.run`
+shims legacy ``(num_pairs, seed)``-only runners (dropping ``workers``
+with a :class:`DeprecationWarning`) so third-party experiments written
+against the old convention keep working.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ExperimentSpec", "register", "get_spec", "all_specs",
+           "experiment_names"]
+
+# Modules that register experiments on import, in the order the CLI
+# lists (and `all` runs) them.  Adding an experiment = writing the
+# module with its `register(...)` call and naming it here.
+_EXPERIMENT_MODULES: tuple[str, ...] = (
+    "repro.experiments.fig7_comparison",
+    "repro.experiments.fig8_common_cars",
+    "repro.experiments.fig9_inliers",
+    "repro.experiments.success_rate",
+    "repro.experiments.fig10_distance",
+    "repro.experiments.fig11_bv_distance",
+    "repro.experiments.fig12_box_common_cars",
+    "repro.experiments.fig13_detector_model",
+    "repro.experiments.table1_detection",
+    "repro.experiments.fig14_ablation",
+    "repro.experiments.bandwidth",
+    "repro.experiments.ablations",
+    "repro.experiments.icp_study",
+    "repro.experiments.tracking_study",
+    "repro.experiments.multi_study",
+    "repro.simulation.statistics",
+    "repro.experiments.submap_study",
+    "repro.experiments.noise_sweep",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment, declaratively.
+
+    Attributes:
+        name: CLI subcommand / registry key (kebab-case).
+        runner: ``run_*`` callable; the uniform convention is
+            ``runner(num_pairs, seed, *, workers)`` returning a result
+            dataclass.
+        formatter: renders the runner's result into paper-style text.
+        description: one-line help shown by ``python -m repro list``.
+        paper_artifact: the paper figure/table this reproduces, or
+            ``"extension"`` for studies beyond the paper.
+        parallelizable: whether ``workers`` actually shards work (the
+            sweep-backed experiments); purely informational — every
+            runner accepts the keyword.
+    """
+
+    name: str
+    runner: Callable[..., Any]
+    formatter: Callable[[Any], str]
+    description: str
+    paper_artifact: str = ""
+    parallelizable: bool = True
+
+    def run(self, num_pairs: int, seed: int, *,
+            workers: int = 1) -> Any:
+        """Invoke the runner under the uniform calling convention.
+
+        Legacy runners without a ``workers`` parameter are still called
+        (minus ``workers``) with a deprecation warning — the shim for
+        experiments written before the runtime engine existed.
+        """
+        if _accepts_workers(self.runner):
+            return self.runner(num_pairs=num_pairs, seed=seed,
+                               workers=workers)
+        warnings.warn(
+            f"experiment {self.name!r}: runner {self.runner.__name__} uses "
+            "the legacy (num_pairs, seed) signature; add a keyword-only "
+            "'workers' parameter to adopt the uniform convention",
+            DeprecationWarning, stacklevel=2)
+        return self.runner(num_pairs=num_pairs, seed=seed)
+
+    def format(self, result: Any) -> str:
+        return self.formatter(result)
+
+
+def _accepts_workers(runner: Callable) -> bool:
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    if "workers" in parameters:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in parameters.values())
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+_discovered = False
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the registry (idempotent per name+runner).
+
+    Re-registering the same runner under the same name is a no-op (it
+    happens on module re-import); registering a *different* runner under
+    an existing name raises, catching copy-paste name collisions early.
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing.runner is not spec.runner:
+        raise ValueError(f"experiment name {spec.name!r} already "
+                         f"registered by {existing.runner!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _discover() -> None:
+    """Import every experiment module once so each registers itself."""
+    global _discovered
+    if _discovered:
+        return
+    _discovered = True
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(module)
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up one experiment; raises KeyError with the known names."""
+    _discover()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") \
+            from None
+
+
+def all_specs() -> tuple[ExperimentSpec, ...]:
+    """Every registered spec, in registration (module) order."""
+    _discover()
+    return tuple(_REGISTRY.values())
+
+
+def experiment_names() -> tuple[str, ...]:
+    """Registered experiment names, in registration order."""
+    return tuple(spec.name for spec in all_specs())

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.bv_matching import BVMatcher
 from repro.core.config import BBAlignConfig
+from repro.experiments.registry import ExperimentSpec, register
 from repro.geometry.se2 import SE2
 from repro.metrics.pose_error import pose_errors
 from repro.pointcloud.accumulate import accumulate_scans
@@ -59,8 +60,9 @@ def _noisy_step(step: SE2, rng: np.random.Generator) -> SE2:
 
 def run_submap_study(num_pairs: int = 6, seed: int = 2024,
                      distance_range: tuple[float, float] = (50.0, 65.0),
-                     ) -> SubmapStudyResult:
+                     *, workers: int = 1) -> SubmapStudyResult:
     """Run the study (``num_pairs`` = scene count)."""
+    del workers  # per-scene submap accumulation; not sharded
     num_scenes = max(num_pairs, 1)
     matcher = BVMatcher(BBAlignConfig())
     threshold = BBAlignConfig().success.min_inliers_bv
@@ -139,3 +141,9 @@ def format_submap_study(result: SubmapStudyResult) -> str:
         "  (BVMatch, the paper's matching substrate, matches submaps — "
         "density at range is what single sweeps lack)",
     ])
+
+
+register(ExperimentSpec(
+    name="submap", runner=run_submap_study, formatter=format_submap_study,
+    description="submap accumulation at long range (extension)",
+    paper_artifact="extension", parallelizable=False))

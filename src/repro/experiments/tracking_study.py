@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.pipeline import BBAlign
 from repro.core.temporal import PoseTracker
 from repro.detection.simulated import SimulatedDetector
+from repro.experiments.registry import ExperimentSpec, register
 from repro.geometry.se2 import SE2
 from repro.simulation.scenario import ScenarioConfig
 from repro.simulation.sequence import DriveSequence, SequenceConfig
@@ -60,9 +61,11 @@ def _noisy_step(step: SE2, rng: np.random.Generator) -> SE2:
 
 
 def run_tracking_study(num_pairs: int = 4, seed: int = 2024,
-                       frames_per_sequence: int = 8) -> TrackingStudyResult:
+                       frames_per_sequence: int = 8, *,
+                       workers: int = 1) -> TrackingStudyResult:
     """Run the study (``num_pairs`` doubles as the sequence count, for
     CLI signature uniformity)."""
+    del workers  # sequential tracker state; not shardable
     num_sequences = max(num_pairs, 1)
     aligner = BBAlign()
     detector = SimulatedDetector()
@@ -138,3 +141,10 @@ def format_tracking_study(result: TrackingStudyResult) -> str:
         "  (the tracker coasts through failed recoveries on odometry, "
         "raising coverage)",
     ])
+
+
+register(ExperimentSpec(
+    name="tracking", runner=run_tracking_study,
+    formatter=format_tracking_study,
+    description="temporal tracking over drive sequences (extension)",
+    paper_artifact="extension", parallelizable=False))

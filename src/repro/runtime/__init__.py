@@ -1,0 +1,56 @@
+"""Parallel sweep engine, stage-1 feature cache and stage timings.
+
+The experiment layer's per-pair sweep is the hot loop of the whole
+reproduction; this package makes it a schedulable, measurable unit:
+
+* :mod:`repro.runtime.engine` — shards a sweep over a process pool with
+  chunked scheduling and deterministic result ordering, falling back to
+  in-process execution when a pool is unavailable;
+* :mod:`repro.runtime.cache` — keyed LRU cache for stage-1
+  :class:`~repro.core.bv_matching.BVFeatures`, so sweeps revisiting the
+  same frame pairs skip re-extraction;
+* :mod:`repro.runtime.timings` — per-stage wall-time accounting
+  (:class:`SweepTimings`) surfaced by the CLI's ``--timings`` flag.
+"""
+
+from repro.runtime.cache import (
+    FeatureCache,
+    dataset_fingerprint,
+    extraction_fingerprint,
+    feature_key,
+    get_default_cache,
+    set_default_cache,
+)
+from repro.runtime.engine import (
+    PoolUnavailableError,
+    chunk_indices,
+    resolve_workers,
+    run_sweep_parallel,
+    shutdown_pool,
+)
+from repro.runtime.timings import (
+    STAGES,
+    SweepTimings,
+    active_timings,
+    collect_timings,
+    stage,
+)
+
+__all__ = [
+    "FeatureCache",
+    "PoolUnavailableError",
+    "STAGES",
+    "SweepTimings",
+    "active_timings",
+    "chunk_indices",
+    "collect_timings",
+    "dataset_fingerprint",
+    "extraction_fingerprint",
+    "feature_key",
+    "get_default_cache",
+    "resolve_workers",
+    "run_sweep_parallel",
+    "set_default_cache",
+    "shutdown_pool",
+    "stage",
+]

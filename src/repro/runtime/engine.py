@@ -1,0 +1,242 @@
+"""Process-pool execution of the pose-recovery sweep.
+
+The sweep is embarrassingly parallel: every pair regenerates
+deterministically from ``(dataset config, index)`` and evaluates
+independently of every other pair.  The engine shards the index range
+into contiguous chunks, runs them on a :class:`ProcessPoolExecutor`, and
+reassembles results in index order — so a parallel sweep returns
+*exactly* the outcomes a serial sweep returns, regardless of which
+worker finished first.
+
+Design notes:
+
+* **Chunking** amortizes task overhead (a chunk re-uses the worker's
+  dataset/aligner/detector state) while still giving the pool ~4 chunks
+  per worker to balance uneven pair costs.
+* **Worker state** is keyed by the task's configuration fingerprints and
+  rebuilt only when it changes, so consecutive sweeps over the same
+  dataset (multi-variant studies) pay construction once per process.
+* **The pool is kept alive** between sweeps: worker processes retain
+  their per-process :mod:`repro.runtime.cache` feature caches, which is
+  what lets an ablation study's second variant skip BV re-extraction.
+* **Fallback**: anything that prevents pool execution (no process
+  support, a broken pool, unpicklable configuration) raises
+  :class:`PoolUnavailableError`; ``run_pose_recovery_sweep`` catches it
+  and falls back to in-process serial execution.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.baselines.vips import VipsConfig
+from repro.core.config import BBAlignConfig
+from repro.detection.simulated import COBEVT_PROFILE, DetectorProfile
+from repro.runtime.cache import (
+    dataset_fingerprint,
+    extraction_fingerprint,
+    get_default_cache,
+)
+from repro.runtime.timings import SweepTimings, stage
+from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
+
+__all__ = ["PoolUnavailableError", "resolve_workers", "chunk_indices",
+           "run_sweep_parallel", "shutdown_pool"]
+
+
+class PoolUnavailableError(RuntimeError):
+    """Raised when parallel execution cannot run; callers go serial."""
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Map the user-facing worker count to an effective one.
+
+    ``None`` or ``0`` (the CLI's ``--workers 0``) selects the host CPU
+    count; anything else passes through.
+    """
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+def chunk_indices(num_items: int, workers: int,
+                  chunk_size: int | None = None) -> list[tuple[int, ...]]:
+    """Split ``range(num_items)`` into contiguous scheduling chunks.
+
+    The default size targets ~4 chunks per worker: large enough that
+    per-task pool overhead is amortized, small enough that one slow
+    chunk cannot serialize the tail of the sweep.
+    """
+    if num_items <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(num_items / (max(workers, 1) * 4)))
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [tuple(range(start, min(start + chunk_size, num_items)))
+            for start in range(0, num_items, chunk_size)]
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """Everything a worker needs to evaluate one chunk of pair indices.
+
+    Only configuration travels to the worker — frame pairs regenerate
+    there from ``(dataset_config, index)``, so no point clouds cross the
+    process boundary.
+    """
+
+    indices: tuple[int, ...]
+    dataset_config: DatasetConfig
+    config: BBAlignConfig | None
+    detector_profile: DetectorProfile
+    include_vips: bool
+    vips_config: VipsConfig | None
+    seed: int
+
+    def state_key(self) -> tuple:
+        return (dataset_fingerprint(self.dataset_config),
+                repr(self.config), repr(self.detector_profile))
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Module globals are per-process: each pool worker keeps
+# its own constructed state and reuses it across the chunks (and sweeps)
+# it is handed, rebuilding only when the configuration changes.
+# ----------------------------------------------------------------------
+_WORKER_STATE_KEY: tuple | None = None
+_WORKER_STATE: tuple | None = None
+
+
+def _worker_state(task: _ChunkTask) -> tuple:
+    global _WORKER_STATE_KEY, _WORKER_STATE
+    key = task.state_key()
+    if _WORKER_STATE is None or key != _WORKER_STATE_KEY:
+        from repro.core.pipeline import BBAlign
+        from repro.detection.simulated import SimulatedDetector
+        _WORKER_STATE = (V2VDatasetSim(task.dataset_config),
+                         BBAlign(task.config),
+                         SimulatedDetector(task.detector_profile))
+        _WORKER_STATE_KEY = key
+    return _WORKER_STATE
+
+
+def _run_chunk(task: _ChunkTask):
+    """Evaluate one chunk; returns (first index, outcomes, timings)."""
+    # Imported here (not at module top) so the runtime package carries no
+    # import-time dependency on the experiments package.
+    from repro.experiments.common import evaluate_pair
+
+    dataset, aligner, detector = _worker_state(task)
+    cache = get_default_cache()
+    ds_fp = dataset_fingerprint(task.dataset_config)
+    ext_fp = extraction_fingerprint(aligner.config)
+    timings = SweepTimings()
+    outcomes = []
+    for index in task.indices:
+        with stage(timings, "simulation"):
+            record = dataset[index]
+        outcomes.append(evaluate_pair(
+            record, aligner, detector, seed=task.seed,
+            include_vips=task.include_vips, vips_config=task.vips_config,
+            cache=cache, dataset_fp=ds_fp, extraction_fp=ext_fp,
+            timings=timings))
+    timings.pairs = len(outcomes)
+    return task.indices[0], outcomes, timings
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+# ----------------------------------------------------------------------
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS: int = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS == workers:
+        return _POOL
+    shutdown_pool()
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError, NotImplementedError) as error:
+        raise PoolUnavailableError(f"cannot start process pool: {error}") \
+            from error
+    _POOL, _POOL_WORKERS = pool, workers
+    return pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests; interpreter exit)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def run_sweep_parallel(
+        dataset_config: DatasetConfig,
+        *,
+        num_pairs: int,
+        config: BBAlignConfig | None = None,
+        detector_profile: DetectorProfile = COBEVT_PROFILE,
+        include_vips: bool = True,
+        vips_config: VipsConfig | None = None,
+        seed: int = 7,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        timings: SweepTimings | None = None):
+    """Run the pose-recovery sweep on a process pool.
+
+    Returns the same ``list[PairOutcome]`` (same ordering, same values)
+    the serial sweep produces.  Per-chunk stage timings are merged into
+    ``timings`` when given; merged stage seconds are CPU-seconds summed
+    across workers, while ``wall_seconds`` reflects the pool's elapsed
+    time as seen from the parent.
+
+    Raises:
+        PoolUnavailableError: the pool could not start or died; the
+            caller should fall back to serial execution.
+    """
+    workers = resolve_workers(workers)
+    chunks = chunk_indices(num_pairs, workers, chunk_size)
+    if not chunks:
+        return []
+    tasks = [_ChunkTask(indices, dataset_config, config, detector_profile,
+                        include_vips, vips_config, seed)
+             for indices in chunks]
+    start = time.perf_counter()
+    pool = _get_pool(workers)
+    per_chunk: dict[int, tuple] = {}
+    try:
+        futures = [pool.submit(_run_chunk, task) for task in tasks]
+        for future in futures:
+            first_index, outcomes, chunk_timings = future.result()
+            per_chunk[first_index] = (outcomes, chunk_timings)
+    except (BrokenProcessPool, pickle.PicklingError, OSError) as error:
+        shutdown_pool()
+        raise PoolUnavailableError(f"process pool failed: {error}") \
+            from error
+
+    ordered = []
+    merged = SweepTimings()
+    for first_index in sorted(per_chunk):
+        outcomes, chunk_timings = per_chunk[first_index]
+        ordered.extend(outcomes)
+        merged.merge(chunk_timings)
+    if timings is not None:
+        merged.workers = workers
+        merged.wall_seconds = time.perf_counter() - start
+        timings.merge(merged)
+    return ordered

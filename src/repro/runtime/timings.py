@@ -1,0 +1,163 @@
+"""Per-stage wall-time accounting for experiment sweeps.
+
+The pose-recovery sweep decomposes into six stages (simulation,
+detection, BV extraction, stage-1 match, stage-2 align, baseline);
+:class:`SweepTimings` accumulates seconds per stage so a run can report
+where the time went.  Accumulators merge, which is how the parallel
+engine folds per-worker measurements into one report — merged stage
+seconds are therefore CPU-seconds, not wall-clock, whenever more than
+one worker contributed (``wall_seconds`` keeps the elapsed view).
+
+A sweep picks up the ambient accumulator installed by
+:func:`collect_timings`, so callers several layers above the sweep (the
+CLI's ``--timings`` flag) can collect without threading an object
+through every ``run_*`` signature.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["STAGES", "SweepTimings", "stage", "collect_timings",
+           "active_timings"]
+
+# Canonical stage order, matching the sweep's per-pair flow.
+STAGES: tuple[str, ...] = (
+    "simulation",       # dataset frame-pair generation
+    "detection",        # simulated detector draws
+    "bv_extract",       # BV image -> MIM -> keypoints -> descriptors
+    "stage1_match",     # descriptor matching + RANSAC (T_bv)
+    "stage2_align",     # box overlap matching + corner RANSAC (T_box)
+    "baseline",         # VIPS graph matching
+)
+
+
+@dataclass
+class SweepTimings:
+    """Mutable accumulator of per-stage seconds plus sweep counters.
+
+    Attributes:
+        seconds: accumulated seconds per stage name (unknown stage names
+            are accepted, so ad-hoc instrumentation merges cleanly).
+        pairs: evaluated pair count.
+        workers: largest worker count that contributed.
+        wall_seconds: elapsed time of the sweep call(s).
+        cache_hits / cache_misses: stage-1 feature-cache statistics.
+    """
+
+    seconds: dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in STAGES})
+    pairs: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # ------------------------------------------------------------------
+    def add(self, stage_name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into one stage bucket."""
+        self.seconds[stage_name] = self.seconds.get(stage_name, 0.0) + seconds
+
+    def merge(self, other: "SweepTimings") -> None:
+        """Fold another accumulator (e.g. one worker's) into this one.
+
+        Stage seconds, pair counts and cache counters add; ``workers``
+        takes the max; ``wall_seconds`` adds only when the other
+        accumulator measured its own wall (serial sub-sweeps) — the
+        parallel engine leaves worker ``wall_seconds`` at zero and times
+        the pool from the parent instead.
+        """
+        for name, seconds in other.seconds.items():
+            self.add(name, seconds)
+        self.pairs += other.pairs
+        self.workers = max(self.workers, other.workers)
+        self.wall_seconds += other.wall_seconds
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    @property
+    def stage_seconds_total(self) -> float:
+        """Sum over all stages (CPU-seconds under parallel execution)."""
+        return sum(self.seconds.values())
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Render the report the CLI prints under ``--timings``."""
+        total = self.stage_seconds_total
+        lines = [
+            f"Sweep timings — {self.pairs} pairs, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
+            f"wall {self.wall_seconds:.2f} s"
+            + (f", stage total {total:.2f} s (CPU)"
+               if self.workers > 1 else ""),
+        ]
+        known = [name for name in STAGES if name in self.seconds]
+        extra = [name for name in self.seconds if name not in STAGES]
+        for name in known + extra:
+            seconds = self.seconds[name]
+            share = seconds / total if total > 0 else 0.0
+            bar = "#" * int(round(share * 30))
+            lines.append(f"  {name:>12}  {seconds:8.2f} s  "
+                         f"{share * 100:5.1f} %  {bar}")
+        attempts = self.cache_hits + self.cache_misses
+        if attempts:
+            lines.append(
+                f"  feature cache: {self.cache_hits}/{attempts} hits "
+                f"({self.cache_hits / attempts * 100:.0f} %)")
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def stage(timings: SweepTimings | None, stage_name: str) -> Iterator[None]:
+    """Time a block into ``timings`` (no-op when ``timings`` is None)."""
+    if timings is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        timings.add(stage_name, time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Ambient collector: lets the CLI (or any caller) harvest timings from
+# sweeps running arbitrarily deep in an experiment without every run_*
+# function having to forward an accumulator.
+# ----------------------------------------------------------------------
+_ACTIVE: contextvars.ContextVar[SweepTimings | None] = contextvars.ContextVar(
+    "repro_runtime_active_timings", default=None)
+
+
+def active_timings() -> SweepTimings | None:
+    """The ambient accumulator installed by :func:`collect_timings`."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def collect_timings() -> Iterator[SweepTimings]:
+    """Install a fresh ambient accumulator for the enclosed block.
+
+    Example:
+        >>> from repro.runtime import collect_timings
+        >>> with collect_timings() as timings:
+        ...     pass  # run experiments; sweeps record into `timings`
+        >>> timings.pairs
+        0
+    """
+    timings = SweepTimings()
+    token = _ACTIVE.set(timings)
+    start = time.perf_counter()
+    try:
+        yield timings
+    finally:
+        _ACTIVE.reset(token)
+        # Only adopt the elapsed view if no sweep recorded its own wall
+        # (sweeps accumulate wall_seconds themselves; the context is a
+        # superset and would double-count).
+        if timings.wall_seconds == 0.0:
+            timings.wall_seconds = time.perf_counter() - start

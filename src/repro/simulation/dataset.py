@@ -14,6 +14,7 @@ tests rely on and which makes experiment slices reproducible.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
@@ -95,12 +96,26 @@ class V2VDatasetSim:
         >>> record.pair.gt_relative      # doctest: +SKIP
     """
 
-    def __init__(self, config: DatasetConfig | None = None) -> None:
+    def __init__(self, config: DatasetConfig | None = None, *,
+                 memoize_records: int = 0) -> None:
+        """Args:
+            config: dataset composition.
+            memoize_records: keep up to this many generated records in a
+                bounded LRU memo (0, the default, regenerates on every
+                access).  Records are deterministic per index, so
+                memoization never changes results — it trades memory
+                (a few MB per record) for skipping re-simulation when
+                multi-variant studies sweep the same dataset repeatedly.
+        """
         self.config = config or DatasetConfig()
+        if memoize_records < 0:
+            raise ValueError("memoize_records must be >= 0")
         mix = self.config.scenario_mix
         self._kinds = list(mix.keys())
         weights = np.array([mix[k] for k in self._kinds], dtype=float)
         self._weights = weights / weights.sum()
+        self._memo_limit = memoize_records
+        self._memo: OrderedDict[int, FrameRecord] = OrderedDict()
 
     def __len__(self) -> int:
         return self.config.num_pairs
@@ -113,7 +128,17 @@ class V2VDatasetSim:
         if not (0 <= index < len(self)):
             raise IndexError(f"index {index} out of range "
                              f"[0, {len(self)})")
-        return self._generate(index)
+        if self._memo_limit:
+            record = self._memo.get(index)
+            if record is not None:
+                self._memo.move_to_end(index)
+                return record
+        record = self._generate(index)
+        if self._memo_limit:
+            self._memo[index] = record
+            while len(self._memo) > self._memo_limit:
+                self._memo.popitem(last=False)
+        return record
 
     # ------------------------------------------------------------------
     def _pair_rng(self, index: int, attempt: int) -> np.random.Generator:

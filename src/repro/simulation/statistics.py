@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bev.projection import height_map
+from repro.experiments.registry import ExperimentSpec, register
 from repro.metrics.aggregation import percentile_summary
 from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
 
@@ -78,7 +79,9 @@ def compute_dataset_statistics(dataset: V2VDatasetSim,
     )
 
 
-def run_dataset_stats(num_pairs: int = 12, seed: int = 2024) -> DatasetStatistics:
+def run_dataset_stats(num_pairs: int = 12, seed: int = 2024, *,
+                      workers: int = 1) -> DatasetStatistics:
+    del workers  # characterization is a single pass; not sharded
     dataset = V2VDatasetSim(DatasetConfig(num_pairs=num_pairs, seed=seed))
     return compute_dataset_statistics(dataset)
 
@@ -103,3 +106,10 @@ def format_dataset_stats(result: DatasetStatistics) -> str:
         f"  oncoming pairs (|yaw|>90):  "
         f"{result.oncoming_fraction * 100:.0f} %",
     ])
+
+
+register(ExperimentSpec(
+    name="dataset-stats", runner=run_dataset_stats,
+    formatter=format_dataset_stats,
+    description="simulated-dataset characterization",
+    paper_artifact="Sec. V", parallelizable=False))

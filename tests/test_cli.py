@@ -4,21 +4,31 @@ import pathlib
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import build_parser, main
+from repro.experiments.registry import all_specs, experiment_names
 
 
 class TestParser:
     def test_every_experiment_registered(self):
         parser = build_parser()
-        for name in EXPERIMENTS:
+        for name in experiment_names():
             args = parser.parse_args([name, "--pairs", "3"])
             assert args.command == name
             assert args.pairs == 3
 
+    def test_runtime_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7", "--workers", "4", "--timings"])
+        assert args.workers == 4
+        assert args.timings is True
+        args = parser.parse_args(["fig7"])
+        assert args.workers == 1
+        assert args.timings is False
+
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in EXPERIMENTS:
+        for name in experiment_names():
             assert name in out
 
     def test_requires_command(self):
@@ -43,11 +53,35 @@ class TestExecution:
         assert saved.exists()
         assert "Bandwidth" in saved.read_text()
 
+    def test_timings_report_printed(self, capsys):
+        assert main(["dataset-stats", "--pairs", "2", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep timings" in out
+
     def test_every_runner_accepts_standard_kwargs(self):
-        """All registered runners share the (num_pairs, seed) contract the
-        CLI relies on."""
+        """All registered runners share the uniform
+        (num_pairs, seed, *, workers) contract the CLI relies on."""
         import inspect
-        for name, (runner, _, _) in EXPERIMENTS.items():
-            params = inspect.signature(runner).parameters
-            assert "num_pairs" in params, name
-            assert "seed" in params, name
+        for spec in all_specs():
+            params = inspect.signature(spec.runner).parameters
+            assert "num_pairs" in params, spec.name
+            assert "seed" in params, spec.name
+            assert "workers" in params, spec.name
+            assert params["workers"].kind is \
+                inspect.Parameter.KEYWORD_ONLY, spec.name
+
+
+class TestDeprecatedAlias:
+    def test_experiments_table_still_served(self):
+        import repro.cli as cli
+        with pytest.warns(DeprecationWarning):
+            table = cli.EXPERIMENTS
+        assert set(table) == set(experiment_names())
+        runner, formatter, description = table["fig7"]
+        assert callable(runner) and callable(formatter)
+        assert description
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.cli as cli
+        with pytest.raises(AttributeError):
+            cli.NOPE

@@ -1,0 +1,109 @@
+"""Tests for the stage-1 feature cache (repro.runtime.cache)."""
+
+from dataclasses import replace
+
+from repro.core.config import BBAlignConfig
+from repro.experiments.common import default_dataset, run_pose_recovery_sweep
+from repro.runtime.cache import (
+    FeatureCache,
+    dataset_fingerprint,
+    extraction_fingerprint,
+    feature_key,
+)
+from repro.runtime.timings import SweepTimings
+from repro.simulation.dataset import DatasetConfig
+
+
+class TestFeatureCache:
+    def test_round_trip_and_counters(self):
+        cache = FeatureCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", "features")
+        assert cache.get("k") == "features"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = FeatureCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert len(cache) == 2
+
+    def test_zero_entries_disables_storage(self):
+        cache = FeatureCache(max_entries=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = FeatureCache(max_entries=4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestFingerprints:
+    def test_extraction_fingerprint_ignores_non_extraction_params(self):
+        base = BBAlignConfig()
+        # RANSAC / stage-2 settings don't affect extracted features:
+        # ablation variants differing only there share cache entries.
+        ransac_variant = replace(
+            base, bv_ransac=replace(base.bv_ransac, disambiguate_pi=False))
+        assert extraction_fingerprint(base) \
+            == extraction_fingerprint(ransac_variant)
+
+    def test_extraction_fingerprint_tracks_extraction_params(self):
+        base = BBAlignConfig()
+        cell_variant = replace(
+            base, bv_image=replace(base.bv_image, cell_size=0.4))
+        assert extraction_fingerprint(base) \
+            != extraction_fingerprint(cell_variant)
+        detector_variant = replace(base, keypoint_detector="harris")
+        assert extraction_fingerprint(base) \
+            != extraction_fingerprint(detector_variant)
+
+    def test_dataset_fingerprint_ignores_num_pairs(self):
+        a = DatasetConfig(num_pairs=10, seed=5)
+        b = DatasetConfig(num_pairs=40, seed=5)
+        # Records are generated per index, so a 10-pair and a 40-pair
+        # dataset share their first 10 records — and their cache entries.
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+        assert dataset_fingerprint(a) != dataset_fingerprint(
+            DatasetConfig(num_pairs=10, seed=6))
+
+    def test_feature_key_separates_roles_and_indices(self):
+        ds = dataset_fingerprint(DatasetConfig())
+        ext = extraction_fingerprint(BBAlignConfig())
+        keys = {feature_key(ds, 0, "ego", ext),
+                feature_key(ds, 0, "other", ext),
+                feature_key(ds, 1, "ego", ext)}
+        assert len(keys) == 3
+
+
+class TestCachedSweep:
+    def test_warm_sweep_matches_cold_and_hits(self):
+        """A cache-hit sweep must be byte-identical to the cold sweep."""
+        dataset = default_dataset(3, seed=21)
+        cache = FeatureCache(max_entries=16)
+        timings = SweepTimings()
+        cold = run_pose_recovery_sweep(dataset, include_vips=False,
+                                       cache=cache, timings=timings)
+        assert timings.cache_misses == 6      # 3 pairs x 2 roles
+        assert timings.cache_hits == 0
+        warm = run_pose_recovery_sweep(dataset, include_vips=False,
+                                       cache=cache, timings=timings)
+        assert warm == cold
+        assert timings.cache_hits == 6
+
+    def test_cache_false_disables(self):
+        dataset = default_dataset(2, seed=22)
+        timings = SweepTimings()
+        run_pose_recovery_sweep(dataset, include_vips=False,
+                                cache=False, timings=timings)
+        assert timings.cache_hits == 0
+        assert timings.cache_misses == 0

@@ -1,0 +1,88 @@
+"""Tests for the parallel sweep engine (repro.runtime.engine)."""
+
+import warnings
+
+import pytest
+
+from repro.experiments.common import default_dataset, run_pose_recovery_sweep
+from repro.runtime import engine
+from repro.runtime.engine import (
+    PoolUnavailableError,
+    chunk_indices,
+    resolve_workers,
+)
+from repro.runtime.timings import SweepTimings
+
+
+class TestChunking:
+    def test_chunks_cover_all_indices_contiguously(self):
+        chunks = chunk_indices(10, workers=3)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == list(range(10))
+
+    def test_explicit_chunk_size(self):
+        chunks = chunk_indices(7, workers=2, chunk_size=3)
+        assert chunks == [(0, 1, 2), (3, 4, 5), (6,)]
+
+    def test_empty_dataset(self):
+        assert chunk_indices(0, workers=4) == []
+
+    def test_default_targets_four_chunks_per_worker(self):
+        chunks = chunk_indices(80, workers=2)
+        assert len(chunks) == 8
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(1) == 1
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) >= 1
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial(self):
+        """workers=4 must produce byte-identical outcomes to workers=1."""
+        dataset = default_dataset(6, seed=11)
+        serial = run_pose_recovery_sweep(dataset, include_vips=True,
+                                         workers=1, cache=False)
+        parallel = run_pose_recovery_sweep(dataset, include_vips=True,
+                                           workers=4)
+        assert serial == parallel
+
+    def test_parallel_records_timings(self):
+        timings = SweepTimings()
+        dataset = default_dataset(4, seed=12)
+        outcomes = run_pose_recovery_sweep(dataset, include_vips=False,
+                                           workers=2, timings=timings)
+        assert len(outcomes) == 4
+        assert timings.pairs == 4
+        assert timings.workers == 2
+        assert timings.wall_seconds > 0
+        assert timings.seconds.get("bv_extract", 0) > 0
+
+
+class TestFallback:
+    def test_falls_back_to_serial_when_pool_unavailable(self, monkeypatch):
+        def broken(*args, **kwargs):
+            raise PoolUnavailableError("pool refused (test)")
+
+        monkeypatch.setattr(engine, "run_sweep_parallel", broken)
+        dataset = default_dataset(3, seed=13)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcomes = run_pose_recovery_sweep(dataset, include_vips=False,
+                                               workers=4, cache=False)
+        assert len(outcomes) == 3
+        assert any("falling back" in str(w.message) for w in caught)
+        reference = run_pose_recovery_sweep(dataset, include_vips=False,
+                                            workers=1, cache=False)
+        assert outcomes == reference
+
+    def test_single_pair_dataset_stays_serial(self, monkeypatch):
+        def must_not_run(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("pool path taken for 1-pair dataset")
+
+        monkeypatch.setattr(engine, "run_sweep_parallel", must_not_run)
+        dataset = default_dataset(1, seed=14)
+        outcomes = run_pose_recovery_sweep(dataset, include_vips=False,
+                                           workers=4, cache=False)
+        assert len(outcomes) == 1
