@@ -9,7 +9,9 @@ criterion.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
+from typing import Callable, ContextManager
 
 import numpy as np
 
@@ -26,6 +28,16 @@ from repro.geometry.se2 import SE2
 from repro.pointcloud.cloud import PointCloud
 
 __all__ = ["BVFeatures", "BVMatch", "BVMatcher"]
+
+# A stage timer is a factory of context managers keyed by stage name (see
+# repro.runtime.timings.stage); None disables instrumentation.  Stage-1
+# records per-kernel detail stages ("bv_extract/mim", "stage1_match/nn",
+# ...) that the timings report nests under their top-level stage.
+StageTimer = Callable[[str], ContextManager]
+
+
+def _no_timing(_stage: str) -> ContextManager:
+    return contextlib.nullcontext()
 
 
 @dataclass(frozen=True)
@@ -46,15 +58,19 @@ class BVFeatures:
         (H-1-c, H-1-r).  Descriptors are *not* carried over (the patch
         content flips), so the returned object has an empty descriptor
         set; callers re-extract.
+
+        The flipped arrays are reversed *views* of the originals (no
+        copies): consumers treat features as read-only, and the derived
+        flip-descriptor path never touches the flipped image or MIM.
         """
         image = self.bv_image
         size = image.size
-        flipped_image = BVImage(image.image[::-1, ::-1].copy(),
+        flipped_image = BVImage(image.image[::-1, ::-1],
                                 image.cell_size, image.lidar_range)
         flipped_mim = MIMResult(
-            mim=self.mim.mim[::-1, ::-1].copy(),
-            max_amplitude=self.mim.max_amplitude[::-1, ::-1].copy(),
-            total_amplitude=self.mim.total_amplitude[::-1, ::-1].copy(),
+            mim=self.mim.mim[::-1, ::-1],
+            max_amplitude=self.mim.max_amplitude[::-1, ::-1],
+            total_amplitude=self.mim.total_amplitude[::-1, ::-1],
             num_orientations=self.mim.num_orientations,
         )
         flipped_xy = (size - 1) - self.keypoints.xy
@@ -133,50 +149,61 @@ class BVMatcher:
                 PcKeypointConfig(log_gabor=self.config.log_gabor))
         return detect_fast(bv_image.image, self.config.fast)
 
-    def extract(self, bv_image: BVImage) -> BVFeatures:
+    def extract(self, bv_image: BVImage,
+                timer: StageTimer | None = None) -> BVFeatures:
         """Compute MIM, keypoints and descriptors for one BV image."""
-        mim = compute_mim(bv_image, self.config.log_gabor)
-        keypoints = self._detect_keypoints(bv_image)
-        descriptors = self._extractor.compute(mim, keypoints)
+        timer = timer or _no_timing
+        with timer("bv_extract/mim"):
+            mim = compute_mim(bv_image, self.config.log_gabor)
+        with timer("bv_extract/keypoints"):
+            keypoints = self._detect_keypoints(bv_image)
+        with timer("bv_extract/descriptors"):
+            descriptors = self._extractor.compute(mim, keypoints)
         return BVFeatures(bv_image, mim, keypoints, descriptors)
 
-    def extract_from_cloud(self, cloud: PointCloud) -> BVFeatures:
+    def extract_from_cloud(self, cloud: PointCloud,
+                           timer: StageTimer | None = None) -> BVFeatures:
         """Convenience: projection + extraction in one call."""
-        return self.extract(self.make_bv_image(cloud))
+        return self.extract(self.make_bv_image(cloud), timer=timer)
 
     # ------------------------------------------------------------------
     # Cross-vehicle matching
     # ------------------------------------------------------------------
     def match(self, other: BVFeatures, ego: BVFeatures,
-              rng: np.random.Generator | int | None = None) -> BVMatch:
+              rng: np.random.Generator | int | None = None,
+              timer: StageTimer | None = None) -> BVMatch:
         """Match the other car's features against the ego car's.
 
         Args:
             other: features from the received BV image (source).
             ego: features from the ego car's BV image (destination).
             rng: RANSAC randomness; defaults to the config seed.
+            timer: optional stage-timer factory recording the
+                ``stage1_match/*`` detail stages.
 
         Returns:
             A :class:`BVMatch` whose ``transform`` maps other-frame world
             coordinates into the ego frame.
         """
         cfg = self.config.bv_ransac
+        timer = timer or _no_timing
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(
                 self.config.random_seed if rng is None else rng)
 
-        direct = self._match_one(other, ego, rng)
+        direct = self._match_one(other, ego, rng, timer)
         if not cfg.disambiguate_pi:
             return direct
 
         # Second hypothesis: the other image rotated 180 degrees, which
         # folds relative yaws in (90, 270) back into the descriptor's
         # unambiguous range.  The winner is whichever consensus is larger.
-        flipped = other.flipped()
-        flipped = BVFeatures(flipped.bv_image, flipped.mim, flipped.keypoints,
-                             self._extractor.compute(flipped.mim,
-                                                     flipped.keypoints))
-        mirrored = self._match_one(flipped, ego, rng)
+        with timer("stage1_match/flip"):
+            flipped = other.flipped()
+            flipped = BVFeatures(flipped.bv_image, flipped.mim,
+                                 flipped.keypoints,
+                                 self._flipped_descriptors(other, flipped))
+        mirrored = self._match_one(flipped, ego, rng, timer)
         if mirrored.inliers_bv <= direct.inliers_bv:
             return direct
         # Compose out the flip: p_flipped = (H-1) - p = SE2(pi, H-1, H-1) p.
@@ -193,22 +220,40 @@ class BVMatcher:
                        matches=mirrored.matches,
                        used_flip=True)
 
+    def _flipped_descriptors(self, other: BVFeatures,
+                             flipped: BVFeatures) -> DescriptorSet:
+        """Descriptors for the 180-degree flip hypothesis.
+
+        Integral keypoints (FAST) let the flipped descriptors be derived
+        as an exact cell permutation of the originals; subpixel
+        detectors fall back to a full recompute on the flipped MIM.
+        """
+        xy = other.keypoints.xy
+        if np.array_equal(xy, np.rint(xy)):
+            return self._extractor.flipped_set(other.descriptors,
+                                               other.bv_image.size)
+        return self._extractor.compute(flipped.mim, flipped.keypoints)
+
     def _match_one(self, other: BVFeatures, ego: BVFeatures,
-                   rng: np.random.Generator) -> BVMatch:
+                   rng: np.random.Generator,
+                   timer: StageTimer | None = None) -> BVMatch:
         """Single-hypothesis matching (no pi disambiguation)."""
         cfg = self.config.bv_ransac
-        matches = match_descriptors(other.descriptors, ego.descriptors,
-                                    ratio=cfg.ratio_test,
-                                    mutual=cfg.mutual_check)
+        timer = timer or _no_timing
+        with timer("stage1_match/nn"):
+            matches = match_descriptors(other.descriptors, ego.descriptors,
+                                        ratio=cfg.ratio_test,
+                                        mutual=cfg.mutual_check)
         if len(matches) < 2:
             empty = ransac_rigid_2d(np.empty((0, 2)), np.empty((0, 2)),
                                     threshold=cfg.threshold_pixels, rng=rng)
             return BVMatch.failed(matches, empty)
 
-        ransac = ransac_rigid_2d(matches.src_xy, matches.dst_xy,
-                                 threshold=cfg.threshold_pixels,
-                                 max_iterations=cfg.max_iterations,
-                                 rng=rng)
+        with timer("stage1_match/ransac"):
+            ransac = ransac_rigid_2d(matches.src_xy, matches.dst_xy,
+                                     threshold=cfg.threshold_pixels,
+                                     max_iterations=cfg.max_iterations,
+                                     rng=rng)
         if not ransac.success:
             return BVMatch.failed(matches, ransac)
 

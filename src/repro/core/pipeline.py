@@ -81,15 +81,18 @@ class BBAlign:
         return np.random.default_rng(rng)
 
     # ------------------------------------------------------------------
-    def extract_features(self, cloud: PointCloud) -> BVFeatures:
+    def extract_features(self, cloud: PointCloud,
+                         timer: StageTimer | None = None) -> BVFeatures:
         """Stage-1 feature extraction for one scan.
 
         This is the memoization boundary the runtime layer caches:
         extraction is a pure function of (cloud, configuration), consumes
         no randomness, and dominates per-pair cost.  Pair it with
         :meth:`recover_from_features` to reuse features across sweeps.
+        The optional ``timer`` records the per-kernel ``bv_extract/*``
+        detail stages.
         """
-        return self.bv_matcher.extract_from_cloud(cloud)
+        return self.bv_matcher.extract_from_cloud(cloud, timer=timer)
 
     def recover(self, ego_cloud: PointCloud, other_cloud: PointCloud,
                 ego_boxes, other_boxes,
@@ -113,8 +116,8 @@ class BBAlign:
             other-frame coordinates into the ego frame.
         """
         with (timer or _no_timing)("bv_extract"):
-            ego_features = self.extract_features(ego_cloud)
-            other_features = self.extract_features(other_cloud)
+            ego_features = self.extract_features(ego_cloud, timer=timer)
+            other_features = self.extract_features(other_cloud, timer=timer)
         return self.recover_from_features(ego_features, other_features,
                                           ego_boxes, other_boxes, rng=rng,
                                           timer=timer)
@@ -138,7 +141,7 @@ class BBAlign:
 
         with timer("stage1_match"):
             stage1 = self.bv_matcher.match(other_features, ego_features,
-                                           rng=rng)
+                                           rng=rng, timer=timer)
 
         if self.config.enable_box_alignment and stage1.success:
             with timer("stage2_align"):

@@ -126,8 +126,9 @@ def _features_for(aligner: BBAlign, cloud, role: str, index: int,
             return features
         if timings is not None:
             timings.cache_misses += 1
+    timer = None if timings is None else functools.partial(stage, timings)
     with stage(timings, "bv_extract"):
-        features = aligner.extract_features(cloud)
+        features = aligner.extract_features(cloud, timer=timer)
     if key is not None:
         cache.put(key, features)
     return features

@@ -8,9 +8,14 @@ traces trigger the *darker-arc* test along their entire length, which is
 exactly the behaviour the paper relies on ("capture the thin lines as
 keypoints").
 
-The whole-image segment test is evaluated with shifted array views (no
-per-pixel Python loop), followed by a non-maximum suppression on the FAST
-score.
+The whole-image segment test packs the 16 brighter/darker circle flags of
+every pixel into one ``uint16`` and resolves the contiguous-arc test with
+a precomputed 65536-entry lookup table (one table per ``arc_length``,
+built once per process).  FAST scores are then evaluated only at the
+surviving corner pixels — with the same subtraction/threshold/summation
+order as the dense reference, so scores and keypoint ordering stay
+bit-identical.  The pre-rework dense implementation is preserved as
+:func:`_reference_detect_fast` for the equivalence tests.
 """
 
 from __future__ import annotations
@@ -108,6 +113,25 @@ def _has_contiguous_arc(flags: np.ndarray, arc_length: int) -> np.ndarray:
     return result
 
 
+# Arc lookup tables keyed by arc_length: table[b] is True when the
+# 16-bit circular flag pattern ``b`` contains >= arc_length contiguous
+# set bits.  65536 bools per table, built once per process.
+_ARC_LUTS: dict[int, np.ndarray] = {}
+
+
+def _arc_lut(arc_length: int) -> np.ndarray:
+    lut = _ARC_LUTS.get(arc_length)
+    if lut is None:
+        patterns = np.arange(65536, dtype=np.uint32)
+        flags = ((patterns[:, None] >> np.arange(16)) & 1).astype(bool)
+        doubled = np.concatenate([flags, flags[:, :arc_length - 1]], axis=1)
+        lut = np.zeros(65536, dtype=bool)
+        for start in range(16):
+            lut |= doubled[:, start:start + arc_length].all(axis=1)
+        _ARC_LUTS[arc_length] = lut
+    return lut
+
+
 def detect_fast(image: np.ndarray,
                 config: FastConfig | None = None) -> Keypoints:
     """Run the FAST segment test over a whole image.
@@ -119,6 +143,74 @@ def detect_fast(image: np.ndarray,
 
     Returns:
         :class:`Keypoints` sorted by decreasing score.
+    """
+    config = config or FastConfig()
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    h, w = image.shape
+    if min(h, w) < 8:
+        return Keypoints.empty()
+
+    padded = np.pad(image, 3, mode="constant", constant_values=0.0)
+    # Pack the 16 brighter/darker flags per pixel into uint16 patterns.
+    packed_b = np.zeros((h, w), dtype=np.uint16)
+    packed_d = np.zeros((h, w), dtype=np.uint16)
+    diff = np.empty((h, w))
+    for k, (dr, dc) in enumerate(CIRCLE_OFFSETS):
+        np.subtract(padded[3 + dr:3 + dr + h, 3 + dc:3 + dc + w], image,
+                    out=diff)
+        packed_b |= np.left_shift(
+            (diff > config.threshold).astype(np.uint16), k)
+        packed_d |= np.left_shift(
+            (diff < -config.threshold).astype(np.uint16), k)
+    lut = _arc_lut(config.arc_length)
+    corners = lut.take(packed_b) | lut.take(packed_d)
+    # Pixels whose circle leaves the image were compared against zero
+    # padding; suppress the 3-pixel border to avoid phantom corners.
+    corners[:3, :] = corners[-3:, :] = False
+    corners[:, :3] = corners[:, -3:] = False
+    if not corners.any():
+        return Keypoints.empty()
+
+    # FAST score: total circle contrast beyond the threshold, evaluated
+    # only at corner pixels (the dense reference zeroes non-corners, so
+    # the sparse gather is equivalent; subtraction and axis-0 summation
+    # order match the reference, keeping scores bit-identical).
+    rows, cols = np.nonzero(corners)
+    circle = np.empty((16, len(rows)))
+    for k, (dr, dc) in enumerate(CIRCLE_OFFSETS):
+        circle[k] = padded[rows + (3 + dr), cols + (3 + dc)]
+    excess = np.abs(circle - image[rows, cols])
+    excess -= config.threshold
+    np.maximum(excess, 0.0, out=excess)
+    scores = excess.sum(axis=0)
+
+    if config.nms_radius > 0:
+        score = np.zeros((h, w))
+        score[rows, cols] = scores
+        size = 2 * config.nms_radius + 1
+        local_max = ndimage.maximum_filter(score, size=size, mode="constant")
+        keep = (scores >= local_max[rows, cols]) & (scores > 0)
+        rows, cols, scores = rows[keep], cols[keep], scores[keep]
+        if not len(rows):
+            return Keypoints.empty()
+
+    order = np.argsort(-scores, kind="stable")
+    if config.max_keypoints:
+        order = order[:config.max_keypoints]
+    xy = np.stack([cols[order], rows[order]], axis=1).astype(float)
+    return Keypoints(xy=xy, scores=scores[order])
+
+
+def _reference_detect_fast(image: np.ndarray,
+                           config: FastConfig | None = None) -> Keypoints:
+    """The pre-rework dense implementation (the behavioral spec).
+
+    Evaluates the segment test with 16 shifted whole-image comparisons
+    and dense score maps; kept for the equivalence tests and the stage-1
+    benchmark.  :func:`detect_fast` must reproduce its keypoints and
+    scores bit-for-bit.
     """
     config = config or FastConfig()
     image = np.asarray(image, dtype=float)

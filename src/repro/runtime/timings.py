@@ -81,8 +81,13 @@ class SweepTimings:
 
     @property
     def stage_seconds_total(self) -> float:
-        """Sum over all stages (CPU-seconds under parallel execution)."""
-        return sum(self.seconds.values())
+        """Sum over all top-level stages (CPU-seconds under parallel
+        execution).  Detail stages — names containing ``/``, such as
+        ``bv_extract/mim`` — time slices *inside* a top-level stage and
+        are excluded so their seconds are not double-counted.
+        """
+        return sum(seconds for name, seconds in self.seconds.items()
+                   if "/" not in name)
 
     # ------------------------------------------------------------------
     def format(self) -> str:
@@ -96,13 +101,27 @@ class SweepTimings:
                if self.workers > 1 else ""),
         ]
         known = [name for name in STAGES if name in self.seconds]
-        extra = [name for name in self.seconds if name not in STAGES]
-        for name in known + extra:
+        extra = [name for name in self.seconds
+                 if name not in STAGES and "/" not in name]
+        orphans = [name for name in self.seconds
+                   if "/" in name
+                   and name.split("/", 1)[0] not in self.seconds]
+        for name in known + extra + orphans:
             seconds = self.seconds[name]
             share = seconds / total if total > 0 else 0.0
             bar = "#" * int(round(share * 30))
             lines.append(f"  {name:>12}  {seconds:8.2f} s  "
                          f"{share * 100:5.1f} %  {bar}")
+            # Detail rows: per-kernel slices recorded as "<stage>/<part>".
+            for detail in self.seconds:
+                if not detail.startswith(name + "/"):
+                    continue
+                part_seconds = self.seconds[detail]
+                part_share = part_seconds / seconds if seconds > 0 else 0.0
+                lines.append(
+                    f"    {'· ' + detail.split('/', 1)[1]:>12}  "
+                    f"{part_seconds:8.2f} s  {part_share * 100:5.1f} % of "
+                    f"{name}")
         attempts = self.cache_hits + self.cache_misses
         if attempts:
             lines.append(
