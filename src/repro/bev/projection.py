@@ -35,11 +35,16 @@ class BVImage:
             for density maps).  Empty cells are 0.
         cell_size: ground-plane cell edge length ``c`` in meters.
         lidar_range: half-extent ``R`` in meters; image spans [-R, R]^2.
+        num_nonfinite: input points rejected at the projection boundary
+            for carrying NaN/inf coordinates — a single NaN admitted
+            into a cell would otherwise propagate through the whole
+            Log-Gabor bank and poison every downstream descriptor.
     """
 
     image: np.ndarray
     cell_size: float
     lidar_range: float
+    num_nonfinite: int = 0
 
     def __post_init__(self) -> None:
         image = np.asarray(self.image, dtype=float)
@@ -112,23 +117,34 @@ class BVImage:
         return int(np.ceil(self.image.size * bits_per_pixel / 8))
 
 
-def _cell_indices(cloud: PointCloud, cell_size: float,
-                  lidar_range: float) -> tuple[np.ndarray, np.ndarray, int]:
-    """Common binning: returns (rows, cols, H, in_range_mask)."""
+def _cell_indices(cloud: PointCloud, cell_size: float, lidar_range: float,
+                  ) -> tuple[np.ndarray, np.ndarray, int, np.ndarray, int]:
+    """Common binning: returns (rows, cols, H, in_range_mask, nonfinite).
+
+    Points with any non-finite coordinate are rejected here — the
+    projection is the validation boundary between raw sensor data and
+    the numeric pipeline, and a NaN height written into one cell would
+    spread through the Log-Gabor frequency products to the entire MIM.
+    The rejected count is surfaced on the returned image so callers can
+    report it in recovery diagnostics.
+    """
     if cell_size <= 0 or lidar_range <= 0:
         raise ValueError("cell_size and lidar_range must be positive")
     size = int(round(2.0 * lidar_range / cell_size))
     if size < 1:
         raise ValueError("lidar_range/cell_size too small for a 1x1 image")
+    finite = np.isfinite(cloud.points).all(axis=1)
+    num_nonfinite = int(len(finite) - np.count_nonzero(finite))
     xy = cloud.xy
-    in_range = ((xy[:, 0] >= -lidar_range) & (xy[:, 0] < lidar_range)
+    in_range = (finite
+                & (xy[:, 0] >= -lidar_range) & (xy[:, 0] < lidar_range)
                 & (xy[:, 1] >= -lidar_range) & (xy[:, 1] < lidar_range))
     xy = xy[in_range]
     cols = np.floor((xy[:, 0] + lidar_range) / cell_size).astype(np.int64)
     rows = np.floor((xy[:, 1] + lidar_range) / cell_size).astype(np.int64)
     np.clip(cols, 0, size - 1, out=cols)
     np.clip(rows, 0, size - 1, out=rows)
-    return rows, cols, size, in_range
+    return rows, cols, size, in_range, num_nonfinite
 
 
 def height_map(cloud: PointCloud, cell_size: float = 0.4,
@@ -157,7 +173,8 @@ def height_map(cloud: PointCloud, cell_size: float = 0.4,
     """
     if max_height is not None and max_height <= min_height:
         raise ValueError("max_height must exceed min_height")
-    rows, cols, size, in_range = _cell_indices(cloud, cell_size, lidar_range)
+    rows, cols, size, in_range, nonfinite = _cell_indices(
+        cloud, cell_size, lidar_range)
     image = np.zeros((size, size))
     if len(rows):
         z = np.maximum(cloud.z[in_range], min_height)
@@ -167,7 +184,7 @@ def height_map(cloud: PointCloud, cell_size: float = 0.4,
         flat = rows * size + cols
         flat_img = image.reshape(-1)
         np.maximum.at(flat_img, flat, z)
-    return BVImage(image, cell_size, lidar_range)
+    return BVImage(image, cell_size, lidar_range, num_nonfinite=nonfinite)
 
 
 def density_map(cloud: PointCloud, cell_size: float = 0.4,
@@ -178,10 +195,11 @@ def density_map(cloud: PointCloud, cell_size: float = 0.4,
     ``log_scale`` applies ``log1p`` to compress the dynamic range, the
     usual practice for density BV images.
     """
-    rows, cols, size, _ = _cell_indices(cloud, cell_size, lidar_range)
+    rows, cols, size, _, nonfinite = _cell_indices(cloud, cell_size,
+                                                   lidar_range)
     image = np.zeros((size, size))
     if len(rows):
         np.add.at(image.reshape(-1), rows * size + cols, 1.0)
     if log_scale:
         image = np.log1p(image)
-    return BVImage(image, cell_size, lidar_range)
+    return BVImage(image, cell_size, lidar_range, num_nonfinite=nonfinite)

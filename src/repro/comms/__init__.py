@@ -1,13 +1,19 @@
-"""V2V message serialization.
+"""V2V message serialization and the lossy-channel fault model.
 
 The paper's bandwidth argument (Sec. III) rests on the BV image being
 "highly compressed" relative to raw lidar.  This package makes the claim
 concrete: it defines the actual wire format a BB-Align deployment would
 transmit — a quantized, zero-run-length-encoded BV image plus fixed-point
-boxes — and measures real encoded sizes.
+boxes, each framed with a CRC32 integrity field — and measures real
+encoded sizes.  :mod:`repro.comms.channel` adds the matching fault model:
+a seeded :class:`LossyChannel` that drops, truncates, corrupts and delays
+encoded messages, feeding the robustness sweep and the degradation ladder
+in :mod:`repro.core.pipeline`.
 """
 
+from repro.comms.channel import Delivery, LossyChannel
 from repro.comms.codec import (
+    CodecError,
     decode_bv_image,
     decode_boxes,
     encode_bv_image,
@@ -16,6 +22,9 @@ from repro.comms.codec import (
 from repro.comms.message import V2VMessage
 
 __all__ = [
+    "CodecError",
+    "Delivery",
+    "LossyChannel",
     "V2VMessage",
     "decode_boxes",
     "decode_bv_image",

@@ -1,0 +1,149 @@
+"""A seeded lossy V2V channel for fault injection.
+
+Real DSRC/C-V2X links drop, damage and delay frames; BB-Align's
+robustness story rests on the receiver surviving every one of those
+impairments.  :class:`LossyChannel` models the four failure modes the
+robustness sweep exercises, each independently configurable and fully
+deterministic under a seeded generator:
+
+* **packet drop** — the message never arrives (``payload is None``);
+* **truncation** — the tail of the buffer is cut at a random point
+  (a partially received frame);
+* **bit-flip corruption** — each byte is independently XOR-damaged with
+  probability ``corruption_rate`` (channel noise; the CRC32 in the wire
+  format catches every such flip);
+* **staleness** — the frame is delivered late by 1..``max_delay_frames``
+  frames (queueing/retransmission delay); the payload itself is intact
+  and consumers decide whether a stale pose is still usable.
+
+The impairment draw order is fixed (drop, staleness, truncation,
+corruption) so a given ``(config, rng stream)`` always produces the same
+:class:`Delivery` — the property the seeded robustness sweep relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Delivery", "LossyChannel"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """What came out of the channel for one transmitted message.
+
+    Attributes:
+        payload: the (possibly damaged) received bytes, or ``None`` when
+            the message was dropped.
+        dropped: the message never arrived.
+        truncated: the tail of the buffer was cut.
+        corrupted_bytes: number of bytes damaged by bit flips.
+        delay_frames: frames of staleness (0 = fresh).
+    """
+
+    payload: bytes | None
+    dropped: bool = False
+    truncated: bool = False
+    corrupted_bytes: int = 0
+    delay_frames: int = 0
+
+    @property
+    def delivered(self) -> bool:
+        """The receiver got *some* buffer (possibly damaged or stale)."""
+        return self.payload is not None
+
+    @property
+    def impaired(self) -> bool:
+        """Anything at all happened to the message in flight."""
+        return (self.dropped or self.truncated
+                or self.corrupted_bytes > 0 or self.delay_frames > 0)
+
+
+@dataclass(frozen=True)
+class LossyChannel:
+    """A configurable impairment model over encoded V2V messages.
+
+    Attributes:
+        drop_rate: probability the message is lost entirely.
+        truncation_rate: probability the buffer is cut at a uniform
+            random byte position.
+        corruption_rate: per-byte probability of an XOR bit flip.
+        stale_rate: probability the frame arrives 1..``max_delay_frames``
+            frames late.
+        max_delay_frames: staleness ceiling.
+        seed: default randomness when :meth:`transmit` is not handed an
+            explicit generator.
+    """
+
+    drop_rate: float = 0.0
+    truncation_rate: float = 0.0
+    corruption_rate: float = 0.0
+    stale_rate: float = 0.0
+    max_delay_frames: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "truncation_rate", "corruption_rate",
+                     "stale_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.max_delay_frames < 1:
+            raise ValueError("max_delay_frames must be >= 1")
+
+    @property
+    def lossless(self) -> bool:
+        """True when every impairment is disabled — ``transmit`` then
+        returns the input bytes unchanged (and draws no randomness)."""
+        return (self.drop_rate == 0.0 and self.truncation_rate == 0.0
+                and self.corruption_rate == 0.0 and self.stale_rate == 0.0)
+
+    def transmit(self, data: bytes,
+                 rng: np.random.Generator | int | None = None) -> Delivery:
+        """Push one encoded message through the channel.
+
+        Args:
+            data: the sender's encoded bytes.
+            rng: randomness for this transmission.  Sweeps pass a
+                per-pair spawn-key generator so outcomes do not depend
+                on evaluation order; ``None`` derives one from the
+                channel's own ``seed``.
+
+        Returns:
+            A :class:`Delivery`; ``payload`` is ``None`` on drop.
+        """
+        if self.lossless:
+            return Delivery(payload=data)
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(self.seed if rng is None else rng)
+
+        # Fixed draw order keeps a given stream's outcome well-defined.
+        if rng.random() < self.drop_rate:
+            return Delivery(payload=None, dropped=True)
+
+        delay = 0
+        if self.stale_rate > 0.0 and rng.random() < self.stale_rate:
+            delay = int(rng.integers(1, self.max_delay_frames + 1))
+
+        buffer = bytearray(data)
+        truncated = False
+        if (self.truncation_rate > 0.0 and len(buffer)
+                and rng.random() < self.truncation_rate):
+            cut = int(rng.integers(0, len(buffer)))
+            del buffer[cut:]
+            truncated = True
+
+        corrupted = 0
+        if self.corruption_rate > 0.0 and len(buffer):
+            hits = np.flatnonzero(rng.random(len(buffer))
+                                  < self.corruption_rate)
+            if len(hits):
+                flips = rng.integers(1, 256, size=len(hits))
+                for position, flip in zip(hits, flips):
+                    buffer[position] ^= int(flip)
+                corrupted = len(hits)
+
+        return Delivery(payload=bytes(buffer), truncated=truncated,
+                        corrupted_bytes=corrupted, delay_frames=delay)

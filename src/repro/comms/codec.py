@@ -8,7 +8,18 @@ intensities to 8 bits and run-length-encodes zero runs:
 
 Boxes are packed as five little-endian float32 values each
 (x, y, length, width, yaw) — the 2-D BEV rectangle stage 2 consumes.
-All headers are explicit so messages are self-describing.
+All headers are explicit so messages are self-describing, and every
+message carries a CRC32 over everything but the checksum field itself,
+so a receiver can tell a damaged buffer from a valid one before acting
+on it.
+
+Decoders are *total* over ``bytes``: any input that is not a well-formed
+message — wrong magic, short header, truncated payload, length mismatch,
+RLE overrun, checksum failure — raises :class:`CodecError` (a
+``ValueError`` subclass).  They never crash with an internal exception
+and never return a silently-wrong image, which is what lets the
+degradation ladder in :mod:`repro.core.pipeline` treat "undecodable
+message" as one well-defined failure mode.
 """
 
 from __future__ import annotations
@@ -21,20 +32,62 @@ import numpy as np
 from repro.bev.projection import BVImage
 from repro.boxes.box import Box2D
 
-__all__ = ["encode_bv_image", "decode_bv_image", "encode_boxes",
-           "decode_boxes"]
+__all__ = ["CodecError", "encode_bv_image", "decode_bv_image",
+           "encode_boxes", "decode_boxes"]
 
-_BV_MAGIC = b"BV01"
-_BV_MAGIC_Z = b"BVZ1"
-_BOX_MAGIC = b"BX01"
-_BV_HEADER = struct.Struct("<4sHddd")   # magic, size, cell, range, scale
-_BOX_HEADER = struct.Struct("<4sH")     # magic, count
+_BV_MAGIC = b"BV02"
+_BV_MAGIC_Z = b"BVZ2"
+_BOX_MAGIC = b"BX02"
+_LEGACY_MAGICS = (b"BV01", b"BVZ1", b"BX01")
+# Header layout: base fields, then a uint32 CRC32 computed over the
+# packed base header plus the (possibly compressed) payload.
+_BV_HEAD = struct.Struct("<4sHddd")     # magic, size, cell, range, scale
+_BOX_HEAD = struct.Struct("<4sH")       # magic, count
+_CRC = struct.Struct("<I")
 _BOX_RECORD = struct.Struct("<5f")
+
+
+class CodecError(ValueError):
+    """A buffer is not a valid wire message (malformed, truncated or
+    failing its integrity check)."""
+
+
+def _check_magic(magic: bytes, expected: tuple[bytes, ...],
+                 kind: str) -> None:
+    if magic in expected:
+        return
+    if magic in _LEGACY_MAGICS:
+        raise CodecError(
+            f"legacy v1 {kind} message (no integrity field); re-encode "
+            "with the current codec")
+    raise CodecError(f"not a {kind} message (magic {magic!r})")
+
+
+def _verify_crc(data: bytes, head: struct.Struct, kind: str) -> bytes:
+    """Split ``header | crc | payload``, verify, return the payload."""
+    crc_offset = head.size
+    payload_offset = crc_offset + _CRC.size
+    if len(data) < payload_offset:
+        raise CodecError(f"truncated {kind} header: {len(data)} bytes")
+    (stored,) = _CRC.unpack_from(data, crc_offset)
+    payload = data[payload_offset:]
+    actual = zlib.crc32(payload, zlib.crc32(data[:crc_offset]))
+    if stored != actual:
+        raise CodecError(
+            f"{kind} checksum mismatch: stored {stored:#010x}, "
+            f"computed {actual:#010x}")
+    return payload
+
+
+def _frame(header: bytes, payload: bytes) -> bytes:
+    """Assemble ``header | crc32(header + payload) | payload``."""
+    crc = zlib.crc32(payload, zlib.crc32(header))
+    return header + _CRC.pack(crc) + payload
 
 
 def encode_bv_image(bv: BVImage, max_intensity: float | None = None,
                     compress: bool = False) -> bytes:
-    """Serialize a BV image (8-bit quantization + zero-RLE).
+    """Serialize a BV image (8-bit quantization + zero-RLE + CRC32).
 
     Args:
         bv: the image to encode.
@@ -58,9 +111,7 @@ def encode_bv_image(bv: BVImage, max_intensity: float | None = None,
 
     flat = quantized.ravel()
     magic = _BV_MAGIC_Z if compress else _BV_MAGIC
-    chunks: list[bytes] = [_BV_HEADER.pack(magic, bv.size,
-                                           bv.cell_size, bv.lidar_range,
-                                           scale)]
+    chunks: list[bytes] = []
     # Zero-run-length encoding via run boundaries.
     is_zero = flat == 0
     boundaries = np.flatnonzero(np.diff(is_zero.astype(np.int8))) + 1
@@ -75,74 +126,98 @@ def encode_bv_image(bv: BVImage, max_intensity: float | None = None,
                 run -= step
         else:
             chunks.append(flat[start:end].tobytes())
+    payload = b"".join(chunks)
     if compress:
-        header, payload = chunks[0], b"".join(chunks[1:])
-        return header + zlib.compress(payload, level=6)
-    return b"".join(chunks)
+        payload = zlib.compress(payload, level=6)
+    header = _BV_HEAD.pack(magic, bv.size, bv.cell_size, bv.lidar_range,
+                           scale)
+    return _frame(header, payload)
 
 
 def decode_bv_image(data: bytes) -> BVImage:
-    """Inverse of :func:`encode_bv_image` (lossy only by quantization)."""
+    """Inverse of :func:`encode_bv_image` (lossy only by quantization).
+
+    Raises:
+        CodecError: ``data`` is not a well-formed BV image message.
+    """
     try:
-        magic, size, cell_size, lidar_range, scale = _BV_HEADER.unpack_from(
+        magic, size, cell_size, lidar_range, scale = _BV_HEAD.unpack_from(
             data, 0)
     except struct.error as exc:
-        raise ValueError(f"malformed BV image message: {exc}") from exc
-    if magic not in (_BV_MAGIC, _BV_MAGIC_Z):
-        raise ValueError("not a BV image message")
-    offset = _BV_HEADER.size
+        raise CodecError(f"malformed BV image header: {exc}") from exc
+    _check_magic(magic, (_BV_MAGIC, _BV_MAGIC_Z), "BV image")
+    payload = _verify_crc(data, _BV_HEAD, "BV image")
     if magic == _BV_MAGIC_Z:
         try:
-            payload = zlib.decompress(data[offset:])
+            payload = zlib.decompress(payload)
         except zlib.error as exc:
-            raise ValueError(f"corrupt compressed payload: {exc}") from exc
-        data = data[:offset] + payload
-    flat = np.zeros(size * size, dtype=np.float64)
+            raise CodecError(f"corrupt compressed payload: {exc}") from exc
+    if not (np.isfinite(cell_size) and np.isfinite(lidar_range)
+            and np.isfinite(scale)) or cell_size <= 0 or lidar_range <= 0:
+        raise CodecError("BV image header carries non-physical geometry")
+    total = size * size
+    flat = np.zeros(total, dtype=np.float64)
     cursor = 0
-    view = memoryview(data)
-    while offset < len(data):
+    offset = 0
+    view = memoryview(payload)
+    length = len(payload)
+    while offset < length:
         byte = view[offset]
         if byte == 0:
             try:
-                run = struct.unpack_from("<H", data, offset + 1)[0]
+                run = struct.unpack_from("<H", payload, offset + 1)[0]
             except struct.error as exc:
-                raise ValueError("truncated BV payload") from exc
+                raise CodecError("truncated BV payload") from exc
             cursor += run
             offset += 3
         else:
+            if cursor >= total:
+                raise CodecError(
+                    f"BV payload overruns the image: cell {cursor} of "
+                    f"{total}")
             flat[cursor] = byte / 255.0 * scale
             cursor += 1
             offset += 1
-    if cursor != size * size:
-        raise ValueError(
-            f"truncated BV payload: {cursor} of {size * size} cells")
+    if cursor != total:
+        raise CodecError(
+            f"BV payload covers {cursor} of {total} cells")
     return BVImage(flat.reshape(size, size), cell_size, lidar_range)
 
 
 def encode_boxes(boxes: list[Box2D]) -> bytes:
-    """Serialize BEV boxes (five float32 values each)."""
-    chunks = [_BOX_HEADER.pack(_BOX_MAGIC, len(boxes))]
-    for box in boxes:
-        chunks.append(_BOX_RECORD.pack(box.center_x, box.center_y,
-                                       box.length, box.width, box.yaw))
-    return b"".join(chunks)
+    """Serialize BEV boxes (five float32 values each + CRC32)."""
+    payload = b"".join(
+        _BOX_RECORD.pack(box.center_x, box.center_y, box.length,
+                         box.width, box.yaw)
+        for box in boxes)
+    header = _BOX_HEAD.pack(_BOX_MAGIC, len(boxes))
+    return _frame(header, payload)
 
 
 def decode_boxes(data: bytes) -> list[Box2D]:
-    """Inverse of :func:`encode_boxes`."""
+    """Inverse of :func:`encode_boxes`.
+
+    Raises:
+        CodecError: ``data`` is not a well-formed box message.
+    """
     try:
-        magic, count = _BOX_HEADER.unpack_from(data, 0)
+        magic, count = _BOX_HEAD.unpack_from(data, 0)
     except struct.error as exc:
-        raise ValueError(f"malformed box message: {exc}") from exc
-    if magic != _BOX_MAGIC:
-        raise ValueError("not a box message")
+        raise CodecError(f"malformed box header: {exc}") from exc
+    _check_magic(magic, (_BOX_MAGIC,), "box")
+    payload = _verify_crc(data, _BOX_HEAD, "box")
+    expected = count * _BOX_RECORD.size
+    if len(payload) != expected:
+        raise CodecError(
+            f"box payload length mismatch: {len(payload)} bytes for "
+            f"{count} boxes (expected {expected})")
     boxes: list[Box2D] = []
-    offset = _BOX_HEADER.size
-    for _ in range(count):
+    for offset in range(0, expected, _BOX_RECORD.size):
+        x, y, length, width, yaw = _BOX_RECORD.unpack_from(payload, offset)
+        if not all(np.isfinite(v) for v in (x, y, length, width, yaw)):
+            raise CodecError("box record carries non-finite values")
         try:
-            x, y, length, width, yaw = _BOX_RECORD.unpack_from(data, offset)
-        except struct.error as exc:
-            raise ValueError("truncated box message") from exc
-        boxes.append(Box2D(x, y, length, width, yaw))
-        offset += _BOX_RECORD.size
+            boxes.append(Box2D(x, y, length, width, yaw))
+        except ValueError as exc:
+            raise CodecError(f"invalid box record: {exc}") from exc
     return boxes

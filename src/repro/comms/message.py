@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.bev.projection import BVImage
 from repro.boxes.box import Box2D
 from repro.comms.codec import (
+    CodecError,
     decode_boxes,
     decode_bv_image,
     encode_boxes,
@@ -46,17 +47,24 @@ class V2VMessage:
 
     @staticmethod
     def from_bytes(data: bytes) -> "V2VMessage":
-        """Parse a framed message."""
+        """Parse a framed message.
+
+        Raises:
+            CodecError: the frame or either sub-message is malformed,
+                truncated, or fails its integrity check.
+        """
         try:
             magic, bv_len, box_len = _FRAME.unpack_from(data, 0)
         except struct.error as exc:
-            raise ValueError(f"malformed V2V message: {exc}") from exc
+            raise CodecError(f"malformed V2V frame: {exc}") from exc
         if magic != _MAGIC:
-            raise ValueError("not a V2V message")
+            raise CodecError(f"not a V2V message (magic {magic!r})")
         offset = _FRAME.size
         expected = offset + bv_len + box_len
-        if len(data) < expected:
-            raise ValueError(f"truncated message: {len(data)} < {expected}")
+        if len(data) != expected:
+            raise CodecError(
+                f"V2V frame length mismatch: {len(data)} bytes, header "
+                f"promises {expected}")
         bv = decode_bv_image(data[offset:offset + bv_len])
         boxes = decode_boxes(data[offset + bv_len:expected])
         return V2VMessage(bv, boxes)

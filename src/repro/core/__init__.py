@@ -8,6 +8,11 @@ and :mod:`repro.core.box_alignment` stage 2 (bounding-box refinement).
 from repro.core.box_alignment import BoxAligner, BoxAlignment
 from repro.core.confidence import ConfidenceModel, fit_confidence_model
 from repro.core.bv_matching import BVFeatures, BVMatcher, BVMatch
+from repro.core.degradation import (
+    DegradationLevel,
+    FailureReason,
+    StageDiagnostics,
+)
 from repro.core.config import (
     BBAlignConfig,
     BVImageConfig,
@@ -32,6 +37,9 @@ __all__ = [
     "BoxAligner",
     "BoxAlignment",
     "ConfidenceModel",
+    "DegradationLevel",
+    "FailureReason",
+    "StageDiagnostics",
     "MultiAlignment",
     "MultiVehicleAligner",
     "PairwiseEdge",

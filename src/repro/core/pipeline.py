@@ -11,20 +11,41 @@
 
 The class is plug-and-play in the paper's sense: it takes two point clouds
 and two detection lists and needs no prior pose and no training.
+
+**Graceful degradation.**  Field inputs are hostile — dropped packets,
+corrupt buffers, NaN-polluted scans, featureless scenes — so the recovery
+entry points (:meth:`BBAlign.recover`, :meth:`BBAlign.recover_from_features`,
+:meth:`BBAlign.recover_from_message`) never raise on bad *data*: every code
+path returns a :class:`PoseRecoveryResult` whose ``failure_reason`` names
+what went wrong and whose ``degradation`` records which fallback produced
+the returned transform (see :mod:`repro.core.degradation` for the ladder).
+The aligner remembers the last successfully recovered pose, so a transient
+failure coasts on history (the ``temporal`` rung) instead of snapping to
+identity; :class:`repro.core.temporal.PoseTracker` remains the full
+odometry-aware filter for streamed deployments.
 """
 
 from __future__ import annotations
 
 import contextlib
+from dataclasses import replace
 from typing import Callable, ContextManager
 
 import numpy as np
 
 from repro.boxes.box import Box2D, Box3D
 from repro.core.box_alignment import BoxAligner, BoxAlignment
-from repro.core.bv_matching import BVFeatures, BVMatcher
+from repro.core.bv_matching import BVFeatures, BVMatch, BVMatcher
 from repro.core.config import BBAlignConfig
+from repro.core.degradation import (
+    DegradationLevel,
+    FailureReason,
+    StageDiagnostics,
+)
 from repro.core.result import PoseRecoveryResult
+from repro.features.matching import MatchResult
+from repro.geometry.ransac import RansacResult
+from repro.geometry.se2 import SE2
 from repro.geometry.se3 import SE3
 from repro.pointcloud.cloud import PointCloud
 
@@ -43,6 +64,13 @@ def _no_timing(_stage: str) -> ContextManager:
     return contextlib.nullcontext()
 
 
+def _empty_stage1() -> BVMatch:
+    """A stage-1 record for recoveries that never reached matching."""
+    ransac = RansacResult(SE2.identity(), np.zeros(0, dtype=bool), 0, 0,
+                          False, float("nan"))
+    return BVMatch.failed(MatchResult.empty(), ransac)
+
+
 class BBAlign:
     """Two-stage pose recovery (the paper's primary contribution).
 
@@ -58,6 +86,21 @@ class BBAlign:
         self.config = config or BBAlignConfig()
         self.bv_matcher = BVMatcher(self.config)
         self.box_aligner = BoxAligner(self.config.box_align)
+        # Fallback memory: the last transform that met the success
+        # criterion.  Only the degraded code paths *read* it, so the
+        # numeric output of the healthy path is independent of call
+        # history (the sweep-determinism contract).
+        self._last_good: SE2 | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def last_good_transform(self) -> SE2 | None:
+        """The most recent successful recovery (temporal-fallback memory)."""
+        return self._last_good
+
+    def reset_temporal(self) -> None:
+        """Forget the last-good pose (e.g. when the partner changes)."""
+        self._last_good = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -79,6 +122,28 @@ class BBAlign:
         if rng is None:
             rng = self.config.random_seed
         return np.random.default_rng(rng)
+
+    def _degraded_result(self, reason: FailureReason,
+                         diagnostics: StageDiagnostics,
+                         message_bytes: int = 0) -> PoseRecoveryResult:
+        """Bottom rungs of the ladder: last-good pose, else identity."""
+        if self._last_good is not None:
+            transform = self._last_good
+            level = DegradationLevel.TEMPORAL
+        else:
+            transform = SE2.identity()
+            level = DegradationLevel.IDENTITY
+        return PoseRecoveryResult(
+            transform=transform,
+            transform_3d=SE3.from_se2(transform),
+            success=False,
+            stage1=_empty_stage1(),
+            stage2=BoxAlignment.skipped(),
+            message_bytes=message_bytes,
+            failure_reason=reason,
+            degradation=level,
+            diagnostics=diagnostics,
+        )
 
     # ------------------------------------------------------------------
     def extract_features(self, cloud: PointCloud,
@@ -113,11 +178,19 @@ class BBAlign:
 
         Returns:
             A :class:`PoseRecoveryResult`; ``result.transform`` maps
-            other-frame coordinates into the ego frame.
+            other-frame coordinates into the ego frame.  Degenerate
+            inputs produce a flagged failure (see ``failure_reason``),
+            never an exception.
         """
-        with (timer or _no_timing)("bv_extract"):
-            ego_features = self.extract_features(ego_cloud, timer=timer)
-            other_features = self.extract_features(other_cloud, timer=timer)
+        try:
+            with (timer or _no_timing)("bv_extract"):
+                ego_features = self.extract_features(ego_cloud, timer=timer)
+                other_features = self.extract_features(other_cloud,
+                                                       timer=timer)
+        except Exception as error:
+            return self._degraded_result(
+                FailureReason.EXTRACTION_ERROR,
+                StageDiagnostics(stage1_error=repr(error)))
         return self.recover_from_features(ego_features, other_features,
                                           ego_boxes, other_boxes, rng=rng,
                                           timer=timer)
@@ -139,14 +212,36 @@ class BBAlign:
         ego_bev = self._to_bev_boxes(ego_boxes)
         other_bev = self._to_bev_boxes(other_boxes)
 
-        with timer("stage1_match"):
-            stage1 = self.bv_matcher.match(other_features, ego_features,
-                                           rng=rng, timer=timer)
+        diagnostics = StageDiagnostics(
+            nonfinite_ego_points=ego_features.bv_image.num_nonfinite,
+            nonfinite_other_points=other_features.bv_image.num_nonfinite,
+            ego_keypoints=len(ego_features.keypoints.xy),
+            other_keypoints=len(other_features.keypoints.xy),
+        )
+        message_bytes = (other_features.bv_image.message_size_bytes()
+                         + _BYTES_PER_BOX * len(other_bev))
 
+        try:
+            with timer("stage1_match"):
+                stage1 = self.bv_matcher.match(other_features, ego_features,
+                                               rng=rng, timer=timer)
+        except Exception as error:
+            return self._degraded_result(
+                FailureReason.STAGE1_ERROR,
+                replace(diagnostics, stage1_error=repr(error)),
+                message_bytes=message_bytes)
+
+        stage2_failure: FailureReason | None = None
         if self.config.enable_box_alignment and stage1.success:
-            with timer("stage2_align"):
-                stage2 = self.box_aligner.align(other_bev, ego_bev,
-                                                stage1.transform, rng=rng)
+            try:
+                with timer("stage2_align"):
+                    stage2 = self.box_aligner.align(other_bev, ego_bev,
+                                                    stage1.transform, rng=rng)
+            except Exception as error:
+                # One rung down: keep the stage-1 estimate unrefined.
+                stage2 = BoxAlignment.skipped()
+                stage2_failure = FailureReason.STAGE2_ERROR
+                diagnostics = replace(diagnostics, stage2_error=repr(error))
         else:
             stage2 = BoxAlignment.skipped()
 
@@ -170,8 +265,22 @@ class BBAlign:
             success = (stage1.success
                        and stage1.inliers_bv > self.config.success.min_inliers_bv)
 
-        message_bytes = (other_features.bv_image.message_size_bytes()
-                         + _BYTES_PER_BOX * len(other_bev))
+        if success:
+            failure_reason = None
+            self._last_good = combined
+        elif stage2_failure is not None:
+            failure_reason = stage2_failure
+        elif not stage1.success:
+            no_features = (diagnostics.ego_keypoints == 0
+                           or diagnostics.other_keypoints == 0)
+            failure_reason = (FailureReason.NO_KEYPOINTS if no_features
+                              else FailureReason.STAGE1_NO_CONSENSUS)
+        else:
+            failure_reason = FailureReason.BELOW_SUCCESS_THRESHOLD
+
+        degradation = (DegradationLevel.STAGE1_ONLY
+                       if stage2_failure is not None
+                       else DegradationLevel.FULL)
         return PoseRecoveryResult(
             transform=combined,
             transform_3d=transform_3d,
@@ -179,7 +288,78 @@ class BBAlign:
             stage1=stage1,
             stage2=stage2,
             message_bytes=message_bytes,
+            failure_reason=failure_reason,
+            degradation=degradation,
+            diagnostics=diagnostics,
         )
+
+    def recover_from_message(self, ego_cloud: PointCloud,
+                             payload: bytes | None,
+                             ego_boxes,
+                             rng: np.random.Generator | int | None = None,
+                             timer: StageTimer | None = None,
+                             stale: bool = False,
+                             ego_features: BVFeatures | None = None,
+                             ) -> PoseRecoveryResult:
+        """Recover the pose from a received (possibly damaged) wire message.
+
+        The receiver-side entry point a deployment actually has: the raw
+        bytes that came off the V2V link, or ``None`` when the frame was
+        dropped.  Decode failures (:class:`repro.comms.CodecError`) and
+        drops walk the fallback ladder instead of raising.
+
+        Args:
+            ego_cloud: ego car's lidar scan.
+            payload: the received :class:`~repro.comms.V2VMessage` bytes,
+                or ``None`` for a dropped frame.
+            ego_boxes: ego detections (Box3D or Box2D) in the ego frame.
+            rng: randomness for both RANSAC stages.
+            timer: optional stage-timer factory.
+            stale: the frame arrived too late to trust for this timestep
+                (e.g. :attr:`repro.comms.Delivery.delay_frames` > 0);
+                treated as unusable for the current frame.
+            ego_features: precomputed ego-side stage-1 features — sweeps
+                that transmit many variants of the same frame pass this
+                to skip re-extraction.
+
+        Returns:
+            A :class:`PoseRecoveryResult`; never raises on bad data.
+        """
+        # Imported here: repro.comms depends on repro.bev, and keeping
+        # the import local avoids a package-level core <-> comms cycle.
+        from repro.comms.codec import CodecError
+        from repro.comms.message import V2VMessage
+
+        if payload is None:
+            return self._degraded_result(FailureReason.MESSAGE_DROPPED,
+                                         StageDiagnostics())
+        if stale:
+            return self._degraded_result(FailureReason.MESSAGE_STALE,
+                                         StageDiagnostics(),
+                                         message_bytes=len(payload))
+        try:
+            message = V2VMessage.from_bytes(payload)
+        except CodecError as error:
+            return self._degraded_result(
+                FailureReason.MESSAGE_UNDECODABLE,
+                StageDiagnostics(decode_error=str(error)),
+                message_bytes=len(payload))
+        timer = timer or _no_timing
+        try:
+            with timer("bv_extract"):
+                if ego_features is None:
+                    ego_features = self.extract_features(ego_cloud,
+                                                         timer=timer)
+                other_features = self.bv_matcher.extract(message.bv_image,
+                                                         timer=timer)
+        except Exception as error:
+            return self._degraded_result(
+                FailureReason.EXTRACTION_ERROR,
+                StageDiagnostics(stage1_error=repr(error)),
+                message_bytes=len(payload))
+        return self.recover_from_features(ego_features, other_features,
+                                          ego_boxes, message.boxes,
+                                          rng=rng, timer=timer)
 
     # ------------------------------------------------------------------
     @staticmethod

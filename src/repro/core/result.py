@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.box_alignment import BoxAlignment
 from repro.core.bv_matching import BVMatch
+from repro.core.degradation import (
+    DegradationLevel,
+    FailureReason,
+    StageDiagnostics,
+)
 from repro.geometry.se2 import SE2
 from repro.geometry.se3 import SE3
 
@@ -30,6 +35,14 @@ class PoseRecoveryResult:
         stage2: stage-2 diagnostics (``T_box``, ``Inliers_box``...).
         message_bytes: size of the data the other car had to transmit
             (BV image + boxes) — the paper's bandwidth argument.
+        failure_reason: why the success criterion was missed
+            (:class:`~repro.core.degradation.FailureReason`); ``None``
+            exactly when ``success`` is ``True``.
+        degradation: which rung of the fallback ladder produced
+            ``transform``
+            (:class:`~repro.core.degradation.DegradationLevel`).
+        diagnostics: per-stage observability
+            (:class:`~repro.core.degradation.StageDiagnostics`).
     """
 
     transform: SE2
@@ -38,6 +51,16 @@ class PoseRecoveryResult:
     stage1: BVMatch
     stage2: BoxAlignment
     message_bytes: int
+    failure_reason: FailureReason | None = None
+    degradation: DegradationLevel = DegradationLevel.FULL
+    diagnostics: StageDiagnostics = field(default_factory=StageDiagnostics)
+
+    @property
+    def degraded(self) -> bool:
+        """The returned pose did not come from the full two-stage path
+        (the ``temporal`` and ``identity`` ladder rungs)."""
+        return self.degradation in (DegradationLevel.TEMPORAL,
+                                    DegradationLevel.IDENTITY)
 
     # Convenience accessors mirroring the paper's notation -------------
     @property

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.baselines.vips import VipsConfig, vips_graph_matching
 from repro.core.config import BBAlignConfig
+from repro.core.degradation import FailureReason
 from repro.core.pipeline import BBAlign
 from repro.detection.simulated import (
     COBEVT_PROFILE,
@@ -44,8 +45,8 @@ from repro.runtime.timings import SweepTimings, active_timings, stage
 from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
 from repro.simulation.scenario import FramePair
 
-__all__ = ["PairOutcome", "run_pose_recovery_sweep", "default_dataset",
-           "detect_for_pair", "evaluate_pair"]
+__all__ = ["PairOutcome", "PairErrorOutcome", "run_pose_recovery_sweep",
+           "default_dataset", "detect_for_pair", "evaluate_pair"]
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,39 @@ class PairOutcome:
     raw_cloud_bytes: int
     vips_success: bool
     vips_errors: PoseErrors | None
+
+
+@dataclass(frozen=True)
+class PairErrorOutcome:
+    """An error record for a pair whose evaluation itself crashed.
+
+    The sweep never aborts on a single pathological pair: the exception
+    is captured (in the pool worker or the serial loop) and the pair
+    contributes this record instead of a :class:`PairOutcome`.  It
+    mirrors the fields robustness analyses filter on (``index``,
+    ``success``, ``failure_reason``) so mixed outcome lists stay easy to
+    partition: ``[o for o in outcomes if isinstance(o, PairOutcome)]``.
+
+    Attributes:
+        index: dataset index of the failed pair.
+        error_type: exception class name (e.g. ``"InjectedFault"``).
+        message: stringified exception.
+        failure_reason: taxonomy tag; always
+            ``FailureReason.EVALUATION_ERROR`` for crashed evaluations.
+        success: always ``False``.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    failure_reason: str = FailureReason.EVALUATION_ERROR.value
+    success: bool = False
+
+    @classmethod
+    def from_exception(cls, index: int,
+                       error: BaseException) -> "PairErrorOutcome":
+        return cls(index=index, error_type=type(error).__name__,
+                   message=str(error))
 
 
 def default_dataset(num_pairs: int, seed: int = 2024) -> V2VDatasetSim:
@@ -262,7 +296,10 @@ def run_pose_recovery_sweep(
             :func:`repro.runtime.timings.collect_timings` (if any).
 
     Returns:
-        One :class:`PairOutcome` per dataset pair, in index order.
+        One :class:`PairOutcome` per dataset pair, in index order.  A
+        pair whose evaluation raised contributes a
+        :class:`PairErrorOutcome` instead — a sweep never aborts on a
+        single pathological pair.
     """
     from repro.runtime.engine import (  # local: runtime imports us back
         PoolUnavailableError,
@@ -294,8 +331,14 @@ _DONE = object()
 
 
 def _run_sweep_serial(dataset, config, detector_profile, include_vips,
-                      vips_config, seed, cache, timings) -> list[PairOutcome]:
-    """The in-process path: same per-pair unit, no pool."""
+                      vips_config, seed, cache, timings,
+                      ) -> list[PairOutcome | PairErrorOutcome]:
+    """The in-process path: same per-pair unit, no pool.
+
+    Mirrors the pool workers' per-pair error capture: a pair whose
+    simulation or evaluation raises becomes a :class:`PairErrorOutcome`
+    and the sweep continues.
+    """
     start = time.perf_counter()
     aligner = BBAlign(config)
     detector = SimulatedDetector(detector_profile)
@@ -304,18 +347,23 @@ def _run_sweep_serial(dataset, config, detector_profile, include_vips,
         ds_fp = dataset_fingerprint(dataset.config)
         ext_fp = extraction_fingerprint(aligner.config)
 
-    outcomes: list[PairOutcome] = []
+    outcomes: list[PairOutcome | PairErrorOutcome] = []
+    index = -1
     iterator = iter(dataset)
     while True:
-        with stage(timings, "simulation"):
-            record = next(iterator, _DONE)
-        if record is _DONE:
-            break
-        outcomes.append(evaluate_pair(
-            record, aligner, detector, seed=seed,
-            include_vips=include_vips, vips_config=vips_config,
-            cache=cache, dataset_fp=ds_fp, extraction_fp=ext_fp,
-            timings=timings))
+        index += 1
+        try:
+            with stage(timings, "simulation"):
+                record = next(iterator, _DONE)
+            if record is _DONE:
+                break
+            outcomes.append(evaluate_pair(
+                record, aligner, detector, seed=seed,
+                include_vips=include_vips, vips_config=vips_config,
+                cache=cache, dataset_fp=ds_fp, extraction_fp=ext_fp,
+                timings=timings))
+        except Exception as error:
+            outcomes.append(PairErrorOutcome.from_exception(index, error))
     if timings is not None:
         timings.pairs += len(outcomes)
         timings.wall_seconds += time.perf_counter() - start

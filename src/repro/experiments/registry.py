@@ -58,6 +58,7 @@ _EXPERIMENT_MODULES: tuple[str, ...] = (
     "repro.simulation.statistics",
     "repro.experiments.submap_study",
     "repro.experiments.noise_sweep",
+    "repro.experiments.robustness_sweep",
 )
 
 

@@ -4,8 +4,11 @@ The experiment layer's per-pair sweep is the hot loop of the whole
 reproduction; this package makes it a schedulable, measurable unit:
 
 * :mod:`repro.runtime.engine` — shards a sweep over a process pool with
-  chunked scheduling and deterministic result ordering, falling back to
-  in-process execution when a pool is unavailable;
+  chunked scheduling and deterministic result ordering; failed chunks
+  are retried on a fresh pool, then run serially, and a pool that never
+  starts falls back to in-process execution;
+* :mod:`repro.runtime.faults` — deterministic, picklable fault
+  injection (:class:`WorkerFault`) for exercising that retry ladder;
 * :mod:`repro.runtime.cache` — keyed LRU cache for stage-1
   :class:`~repro.core.bv_matching.BVFeatures`, so sweeps revisiting the
   same frame pairs skip re-extraction;
@@ -28,6 +31,7 @@ from repro.runtime.engine import (
     run_sweep_parallel,
     shutdown_pool,
 )
+from repro.runtime.faults import InjectedFault, WorkerFault
 from repro.runtime.timings import (
     STAGES,
     SweepTimings,
@@ -38,9 +42,11 @@ from repro.runtime.timings import (
 
 __all__ = [
     "FeatureCache",
+    "InjectedFault",
     "PoolUnavailableError",
     "STAGES",
     "SweepTimings",
+    "WorkerFault",
     "active_timings",
     "chunk_indices",
     "collect_timings",

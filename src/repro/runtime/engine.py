@@ -19,8 +19,18 @@ Design notes:
 * **The pool is kept alive** between sweeps: worker processes retain
   their per-process :mod:`repro.runtime.cache` feature caches, which is
   what lets an ablation study's second variant skip BV re-extraction.
-* **Fallback**: anything that prevents pool execution (no process
-  support, a broken pool, unpicklable configuration) raises
+* **Fault tolerance** is layered by blast radius.  A pair whose
+  evaluation *raises* becomes a ``PairErrorOutcome`` record inside the
+  worker — one degraded data point, the chunk continues.  A chunk whose
+  worker *dies* (``BrokenProcessPool``), *hangs* (``chunk_timeout``) or
+  otherwise fails wholesale is resubmitted once to a freshly restarted
+  pool — outstanding futures are cancelled and the broken pool is torn
+  down without waiting first — and, if it fails again, runs serially
+  in-process; a chunk that even the serial path cannot finish yields
+  one error record per pair.  No single pathological pair, worker or
+  chunk can take down a sweep.
+* **Fallback**: anything that prevents pool execution entirely (no
+  process support, pool creation refused) still raises
   :class:`PoolUnavailableError`; ``run_pose_recovery_sweep`` catches it
   and falls back to in-process serial execution.
 """
@@ -44,6 +54,7 @@ from repro.runtime.cache import (
     extraction_fingerprint,
     get_default_cache,
 )
+from repro.runtime.faults import WorkerFault
 from repro.runtime.timings import SweepTimings, stage
 from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
 
@@ -100,6 +111,7 @@ class _ChunkTask:
     include_vips: bool
     vips_config: VipsConfig | None
     seed: int
+    fault: WorkerFault | None = None
 
     def state_key(self) -> tuple:
         return (dataset_fingerprint(self.dataset_config),
@@ -129,10 +141,16 @@ def _worker_state(task: _ChunkTask) -> tuple:
 
 
 def _run_chunk(task: _ChunkTask):
-    """Evaluate one chunk; returns (first index, outcomes, timings)."""
+    """Evaluate one chunk; returns (first index, outcomes, timings).
+
+    A pair whose evaluation raises is captured as a
+    :class:`~repro.experiments.common.PairErrorOutcome` — one degraded
+    data point — and the chunk moves on.  Only process-level failures
+    (worker death, hang) escape to the parent's chunk-retry ladder.
+    """
     # Imported here (not at module top) so the runtime package carries no
     # import-time dependency on the experiments package.
-    from repro.experiments.common import evaluate_pair
+    from repro.experiments.common import PairErrorOutcome, evaluate_pair
 
     dataset, aligner, detector = _worker_state(task)
     cache = get_default_cache()
@@ -141,13 +159,20 @@ def _run_chunk(task: _ChunkTask):
     timings = SweepTimings()
     outcomes = []
     for index in task.indices:
-        with stage(timings, "simulation"):
-            record = dataset[index]
-        outcomes.append(evaluate_pair(
-            record, aligner, detector, seed=task.seed,
-            include_vips=task.include_vips, vips_config=task.vips_config,
-            cache=cache, dataset_fp=ds_fp, extraction_fp=ext_fp,
-            timings=timings))
+        try:
+            if task.fault is not None:
+                task.fault.maybe_fire(index)
+            with stage(timings, "simulation"):
+                record = dataset[index]
+            outcome = evaluate_pair(
+                record, aligner, detector, seed=task.seed,
+                include_vips=task.include_vips,
+                vips_config=task.vips_config,
+                cache=cache, dataset_fp=ds_fp, extraction_fp=ext_fp,
+                timings=timings)
+        except Exception as error:
+            outcome = PairErrorOutcome.from_exception(index, error)
+        outcomes.append(outcome)
     timings.pairs = len(outcomes)
     return task.indices[0], outcomes, timings
 
@@ -173,16 +198,72 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
     return pool
 
 
-def shutdown_pool() -> None:
-    """Tear down the shared pool (tests; interpreter exit)."""
+def shutdown_pool(wait: bool = True, cancel_futures: bool = False) -> None:
+    """Tear down the shared pool (tests; failure recovery; exit).
+
+    Args:
+        wait: block until workers exit.  The failure-recovery path and
+            the interpreter-exit hook pass ``False`` so a dead or hung
+            worker cannot wedge the caller.
+        cancel_futures: cancel queued-but-unstarted chunks, so a serial
+            fallback never races chunks still draining out of a
+            half-broken pool.
+    """
     global _POOL, _POOL_WORKERS
     if _POOL is not None:
-        _POOL.shutdown()
+        _POOL.shutdown(wait=wait, cancel_futures=cancel_futures)
         _POOL = None
         _POOL_WORKERS = 0
 
 
-atexit.register(shutdown_pool)
+def _shutdown_pool_at_exit() -> None:
+    # Non-blocking on purpose: a hung worker must not wedge interpreter
+    # exit; orphaned processes drain on their own once the call queue
+    # closes.
+    shutdown_pool(wait=False, cancel_futures=True)
+
+
+atexit.register(_shutdown_pool_at_exit)
+
+
+def _collect_chunks(pool: ProcessPoolExecutor, tasks: list[_ChunkTask],
+                    per_chunk: dict[int, tuple],
+                    chunk_timeout: float | None) -> list[tuple[_ChunkTask,
+                                                               Exception]]:
+    """Submit ``tasks`` and gather results; returns the failed ones.
+
+    Successful chunks land in ``per_chunk`` keyed by first pair index.
+    Any per-chunk failure — worker death, timeout, serialization error,
+    an exception escaping the worker — is captured with its task for the
+    caller's retry ladder, never raised.
+    """
+    failed: list[tuple[_ChunkTask, Exception]] = []
+    futures: list[tuple] = []
+    for task in tasks:
+        try:
+            futures.append((pool.submit(_run_chunk, task), task))
+        except Exception as error:  # pool died between submits
+            failed.append((task, error))
+    for future, task in futures:
+        try:
+            first_index, outcomes, chunk_timings = future.result(
+                timeout=chunk_timeout)
+            per_chunk[first_index] = (outcomes, chunk_timings)
+        except Exception as error:
+            failed.append((task, error))
+    return failed
+
+
+def _run_chunk_serially(task: _ChunkTask) -> tuple[int, list, SweepTimings]:
+    """Last rung: run a chunk in-process; even that failing yields
+    one error record per pair instead of an exception."""
+    try:
+        return _run_chunk(task)
+    except Exception as error:
+        from repro.experiments.common import PairErrorOutcome
+        outcomes = [PairErrorOutcome.from_exception(index, error)
+                    for index in task.indices]
+        return task.indices[0], outcomes, SweepTimings()
 
 
 def run_sweep_parallel(
@@ -196,17 +277,27 @@ def run_sweep_parallel(
         seed: int = 7,
         workers: int | None = None,
         chunk_size: int | None = None,
-        timings: SweepTimings | None = None):
+        timings: SweepTimings | None = None,
+        chunk_timeout: float | None = None,
+        fault: WorkerFault | None = None):
     """Run the pose-recovery sweep on a process pool.
 
-    Returns the same ``list[PairOutcome]`` (same ordering, same values)
-    the serial sweep produces.  Per-chunk stage timings are merged into
+    Returns the same outcome list (same ordering, same values) the
+    serial sweep produces: one ``PairOutcome`` per pair — or a
+    ``PairErrorOutcome`` for a pair whose evaluation failed even after
+    the retry ladder.  Per-chunk stage timings are merged into
     ``timings`` when given; merged stage seconds are CPU-seconds summed
     across workers, while ``wall_seconds`` reflects the pool's elapsed
     time as seen from the parent.
 
+    Chunk failures degrade, they don't abort: a failed chunk is
+    resubmitted once to a restarted pool (outstanding futures cancelled
+    first), then run serially in-process.  ``chunk_timeout`` bounds each
+    chunk's wall time on the pool; ``fault`` injects a
+    :class:`~repro.runtime.faults.WorkerFault` for robustness testing.
+
     Raises:
-        PoolUnavailableError: the pool could not start or died; the
+        PoolUnavailableError: the pool could not start at all; the
             caller should fall back to serial execution.
     """
     workers = resolve_workers(workers)
@@ -214,20 +305,30 @@ def run_sweep_parallel(
     if not chunks:
         return []
     tasks = [_ChunkTask(indices, dataset_config, config, detector_profile,
-                        include_vips, vips_config, seed)
+                        include_vips, vips_config, seed, fault)
              for indices in chunks]
     start = time.perf_counter()
     pool = _get_pool(workers)
     per_chunk: dict[int, tuple] = {}
-    try:
-        futures = [pool.submit(_run_chunk, task) for task in tasks]
-        for future in futures:
-            first_index, outcomes, chunk_timings = future.result()
+    failed = _collect_chunks(pool, tasks, per_chunk, chunk_timeout)
+    if failed:
+        # Retry the failures once on a fresh pool.  Cancel anything
+        # still queued and tear the old pool down without waiting, so
+        # the retry (and a possible serial fallback) never races
+        # chunks still running in half-broken workers.
+        shutdown_pool(wait=False, cancel_futures=True)
+        retry_tasks = [task for task, _ in failed]
+        try:
+            pool = _get_pool(workers)
+            failed = _collect_chunks(pool, retry_tasks, per_chunk,
+                                     chunk_timeout)
+        except PoolUnavailableError:
+            failed = [(task, error) for task, error in failed]
+        if failed:
+            shutdown_pool(wait=False, cancel_futures=True)
+        for task, _error in failed:
+            first_index, outcomes, chunk_timings = _run_chunk_serially(task)
             per_chunk[first_index] = (outcomes, chunk_timings)
-    except (BrokenProcessPool, pickle.PicklingError, OSError) as error:
-        shutdown_pool()
-        raise PoolUnavailableError(f"process pool failed: {error}") \
-            from error
 
     ordered = []
     merged = SweepTimings()

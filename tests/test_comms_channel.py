@@ -1,0 +1,91 @@
+"""LossyChannel impairment model: determinism and per-mode behavior."""
+
+import numpy as np
+import pytest
+
+from repro.comms import Delivery, LossyChannel
+
+PAYLOAD = bytes(range(256)) * 4
+
+
+class TestLossless:
+    def test_identity_delivery(self):
+        channel = LossyChannel()
+        delivery = channel.transmit(PAYLOAD)
+        assert delivery.payload == PAYLOAD
+        assert delivery.delivered
+        assert not delivery.impaired
+
+    def test_lossless_property(self):
+        assert LossyChannel().lossless
+        assert not LossyChannel(drop_rate=0.1).lossless
+
+    def test_lossless_ignores_rng_state(self):
+        """The zero-impairment control cell draws no randomness, so its
+        outputs cannot depend on rng plumbing."""
+        channel = LossyChannel()
+        a = channel.transmit(PAYLOAD, rng=np.random.default_rng(1))
+        b = channel.transmit(PAYLOAD, rng=np.random.default_rng(999))
+        assert a == b == Delivery(payload=PAYLOAD)
+
+
+class TestImpairments:
+    def test_certain_drop(self):
+        delivery = LossyChannel(drop_rate=1.0).transmit(PAYLOAD, rng=0)
+        assert delivery.dropped
+        assert delivery.payload is None
+        assert not delivery.delivered
+        assert delivery.impaired
+
+    def test_certain_truncation_shortens(self):
+        delivery = LossyChannel(truncation_rate=1.0).transmit(PAYLOAD, rng=0)
+        assert delivery.truncated
+        assert len(delivery.payload) < len(PAYLOAD)
+        assert delivery.payload == PAYLOAD[:len(delivery.payload)]
+
+    def test_certain_corruption_flips_every_byte(self):
+        delivery = LossyChannel(corruption_rate=1.0).transmit(PAYLOAD, rng=0)
+        assert delivery.corrupted_bytes == len(PAYLOAD)
+        assert len(delivery.payload) == len(PAYLOAD)
+        # XOR with a value in 1..255 changes every hit byte.
+        assert all(a != b for a, b in zip(delivery.payload, PAYLOAD))
+
+    def test_certain_staleness_delays(self):
+        channel = LossyChannel(stale_rate=1.0, max_delay_frames=3)
+        delivery = channel.transmit(PAYLOAD, rng=0)
+        assert 1 <= delivery.delay_frames <= 3
+        assert delivery.payload == PAYLOAD  # stale frames arrive intact
+
+
+class TestDeterminism:
+    def test_same_stream_same_delivery(self):
+        channel = LossyChannel(drop_rate=0.3, truncation_rate=0.3,
+                               corruption_rate=0.01, stale_rate=0.3)
+        deliveries = [channel.transmit(PAYLOAD,
+                                       rng=np.random.default_rng([7, i]))
+                      for i in range(20)]
+        again = [channel.transmit(PAYLOAD,
+                                  rng=np.random.default_rng([7, i]))
+                 for i in range(20)]
+        assert deliveries == again
+
+    def test_channel_seed_used_without_explicit_rng(self):
+        a = LossyChannel(drop_rate=0.5, seed=3)
+        b = LossyChannel(drop_rate=0.5, seed=3)
+        assert [a.transmit(PAYLOAD) for _ in range(10)] \
+            == [b.transmit(PAYLOAD) for _ in range(10)]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"drop_rate": -0.1}, {"drop_rate": 1.5},
+        {"truncation_rate": 2.0}, {"corruption_rate": -1.0},
+        {"stale_rate": 1.01},
+    ])
+    def test_rates_must_be_probabilities(self, kwargs):
+        with pytest.raises(ValueError):
+            LossyChannel(**kwargs)
+
+    def test_max_delay_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LossyChannel(max_delay_frames=0)

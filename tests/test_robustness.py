@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.boxes.box import Box2D, Box3D
+from repro.core import DegradationLevel, FailureReason
 from repro.core.config import BBAlignConfig
 from repro.core.pipeline import BBAlign
 from repro.core.bv_matching import BVMatcher
@@ -125,6 +126,161 @@ class TestExtremeGeometry:
         result = aligner.recover(PointCloud(bad), PointCloud(bad), [], [],
                                  rng=0)
         assert not result.success
+
+
+@pytest.fixture(scope="module")
+def wire_setup():
+    """A frame pair, its ego boxes, and the other car's encoded message."""
+    from repro.comms.message import V2VMessage
+    from repro.detection.simulated import SimulatedDetector
+    from repro.simulation.scenario import ScenarioConfig, make_frame_pair
+
+    # rng=6 gives a pair that clears the paper's success thresholds
+    # through the full wire path (quantized image, decoded boxes).
+    pair = make_frame_pair(ScenarioConfig(distance=20.0), rng=6)
+    detector = SimulatedDetector()
+    ego_dets = detector.detect(pair.ego_visible, np.random.default_rng(1))
+    other_dets = detector.detect(pair.other_visible,
+                                 np.random.default_rng(2))
+    sender = BBAlign()
+    other_features = sender.extract_features(pair.other_cloud)
+    payload = V2VMessage(other_features.bv_image,
+                         [d.box.to_bev() for d in other_dets]).to_bytes()
+    return pair, [d.box for d in ego_dets], payload
+
+
+class TestDegradationLadder:
+    """Every rung of recover_from_message returns a flagged result —
+    drop, staleness, undecodable bytes, stage errors — and the temporal
+    rung actually reuses the last good pose."""
+
+    def test_drop_without_history_is_flagged_identity(self, wire_setup):
+        pair, ego_boxes, _ = wire_setup
+        result = BBAlign().recover_from_message(pair.ego_cloud, None,
+                                                ego_boxes, rng=0)
+        assert not result.success
+        assert result.failure_reason is FailureReason.MESSAGE_DROPPED
+        assert result.degradation is DegradationLevel.IDENTITY
+        assert result.transform.is_close(SE2.identity())
+        assert result.degraded
+
+    def test_clean_message_recovers(self, wire_setup):
+        pair, ego_boxes, payload = wire_setup
+        result = BBAlign().recover_from_message(pair.ego_cloud, payload,
+                                                ego_boxes, rng=0)
+        assert result.success
+        assert result.failure_reason is None
+        assert result.degradation is DegradationLevel.FULL
+        assert result.translation_error(pair.gt_relative) < 1.5
+
+    def test_drop_after_success_reuses_last_good_pose(self, wire_setup):
+        pair, ego_boxes, payload = wire_setup
+        aligner = BBAlign()
+        good = aligner.recover_from_message(pair.ego_cloud, payload,
+                                            ego_boxes, rng=0)
+        assert good.success
+        assert aligner.last_good_transform is not None
+        dropped = aligner.recover_from_message(pair.ego_cloud, None,
+                                               ego_boxes, rng=0)
+        assert not dropped.success
+        assert dropped.degradation is DegradationLevel.TEMPORAL
+        assert dropped.failure_reason is FailureReason.MESSAGE_DROPPED
+        assert dropped.transform.is_close(good.transform)
+        # Clearing the memory drops back to the identity rung.
+        aligner.reset_temporal()
+        cleared = aligner.recover_from_message(pair.ego_cloud, None,
+                                               ego_boxes, rng=0)
+        assert cleared.degradation is DegradationLevel.IDENTITY
+
+    def test_stale_message_not_used(self, wire_setup):
+        pair, ego_boxes, payload = wire_setup
+        result = BBAlign().recover_from_message(pair.ego_cloud, payload,
+                                                ego_boxes, rng=0,
+                                                stale=True)
+        assert not result.success
+        assert result.failure_reason is FailureReason.MESSAGE_STALE
+        assert result.message_bytes == len(payload)
+
+    def test_garbage_bytes_flagged_undecodable(self, wire_setup):
+        pair, ego_boxes, _ = wire_setup
+        result = BBAlign().recover_from_message(
+            pair.ego_cloud, b"not a v2v message at all", ego_boxes, rng=0)
+        assert not result.success
+        assert result.failure_reason is FailureReason.MESSAGE_UNDECODABLE
+        assert result.diagnostics.decode_error
+
+    def test_corrupted_payload_flagged_undecodable(self, wire_setup):
+        pair, ego_boxes, payload = wire_setup
+        damaged = bytearray(payload)
+        damaged[len(damaged) // 2] ^= 0xFF
+        result = BBAlign().recover_from_message(pair.ego_cloud,
+                                                bytes(damaged), ego_boxes,
+                                                rng=0)
+        assert result.failure_reason is FailureReason.MESSAGE_UNDECODABLE
+
+    def test_stage2_error_keeps_stage1_estimate(self, wire_setup,
+                                                monkeypatch):
+        pair, ego_boxes, payload = wire_setup
+        aligner = BBAlign()
+
+        def broken_align(*args, **kwargs):
+            raise RuntimeError("stage 2 exploded (test)")
+
+        monkeypatch.setattr(aligner.box_aligner, "align", broken_align)
+        result = aligner.recover_from_message(pair.ego_cloud, payload,
+                                              ego_boxes, rng=0)
+        assert result.failure_reason is FailureReason.STAGE2_ERROR
+        assert result.degradation is DegradationLevel.STAGE1_ONLY
+        assert result.transform.is_close(result.stage1.transform)
+        assert "stage 2 exploded" in result.diagnostics.stage2_error
+
+    def test_stage1_error_degrades(self, wire_setup, monkeypatch):
+        pair, ego_boxes, payload = wire_setup
+        aligner = BBAlign()
+
+        def broken_match(*args, **kwargs):
+            raise RuntimeError("stage 1 exploded (test)")
+
+        monkeypatch.setattr(aligner.bv_matcher, "match", broken_match)
+        result = aligner.recover_from_message(pair.ego_cloud, payload,
+                                              ego_boxes, rng=0)
+        assert not result.success
+        assert result.failure_reason is FailureReason.STAGE1_ERROR
+        assert "stage 1 exploded" in result.diagnostics.stage1_error
+
+    def test_extraction_error_degrades(self, frame_pair, monkeypatch):
+        aligner = BBAlign()
+
+        def broken_extract(*args, **kwargs):
+            raise RuntimeError("extraction exploded (test)")
+
+        monkeypatch.setattr(aligner.bv_matcher, "extract_from_cloud",
+                            broken_extract)
+        result = aligner.recover(frame_pair.ego_cloud,
+                                 frame_pair.other_cloud, [], [], rng=0)
+        assert not result.success
+        assert result.failure_reason is FailureReason.EXTRACTION_ERROR
+
+
+class TestNonFiniteDiagnostics:
+    def test_nonfinite_points_counted_and_filtered(self, frame_pair):
+        aligner = BBAlign()
+        points = frame_pair.ego_cloud.points.copy()
+        points[:7, 0] = np.nan
+        points[7:10, 2] = np.inf
+        features = aligner.extract_features(PointCloud(points))
+        assert features.bv_image.num_nonfinite == 10
+        assert np.isfinite(features.bv_image.image).all()
+
+    def test_counts_surface_in_result_diagnostics(self, frame_pair):
+        aligner = BBAlign()
+        points = frame_pair.ego_cloud.points.copy()
+        points[:5] = np.nan
+        ego = aligner.extract_features(PointCloud(points))
+        other = aligner.extract_features(frame_pair.other_cloud)
+        result = aligner.recover_from_features(ego, other, [], [], rng=0)
+        assert result.diagnostics.nonfinite_ego_points == 5
+        assert result.diagnostics.nonfinite_other_points == 0
 
 
 class TestSuccessCriterionHonesty:
