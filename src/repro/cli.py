@@ -6,20 +6,26 @@ Usage::
     python -m repro fig7 --pairs 100 --seed 2024
     python -m repro fig7 --pairs 100 --workers 4 --timings
     python -m repro table1 --pairs 40
+    python -m repro success-rate --pairs 40 --profile
     python -m repro all --pairs 40 --output results/
 
 Experiments are resolved through :mod:`repro.experiments.registry` —
 the CLI imports no experiment module directly; each registers itself as
 an :class:`~repro.experiments.registry.ExperimentSpec` on import.
-``--workers`` shards sweep-backed experiments over a process pool and
+``--workers`` shards sweep-backed experiments over a process pool,
 ``--timings`` prints the per-stage :class:`~repro.runtime.SweepTimings`
-report after each experiment.
+report after each experiment, and ``--profile [N]`` runs the experiment
+under :mod:`cProfile` and appends the top N functions by cumulative
+time (default 25).
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import pathlib
+import pstats
 import sys
 import warnings
 from typing import Callable
@@ -64,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default), 0 = host CPU count")
     common.add_argument("--timings", action="store_true",
                         help="print the per-stage wall-time report")
+    common.add_argument("--profile", nargs="?", type=int, const=25,
+                        default=None, metavar="N",
+                        help="run under cProfile and print the top N "
+                             "functions by cumulative time (default 25)")
     common.add_argument("--output", type=pathlib.Path, default=None,
                         help="directory to also write <name>.txt into")
 
@@ -74,15 +84,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profile_report(profiler: cProfile.Profile, top: int) -> str:
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue().rstrip()
+
+
 def _run_one(name: str, pairs: int, seed: int, workers: int,
-             timings: bool, output: pathlib.Path | None) -> str:
+             timings: bool, output: pathlib.Path | None,
+             profile: int | None = None) -> str:
     spec = get_spec(name)
+    profiler = cProfile.Profile() if profile is not None else None
+
+    def _invoke():
+        if profiler is not None:
+            profiler.enable()
+        try:
+            return spec.run(pairs, seed, workers=workers)
+        finally:
+            if profiler is not None:
+                profiler.disable()
+
     if timings:
         with collect_timings() as report:
-            result = spec.run(pairs, seed, workers=workers)
+            result = _invoke()
         text = spec.format(result) + "\n\n" + report.format()
     else:
-        text = spec.format(spec.run(pairs, seed, workers=workers))
+        text = spec.format(_invoke())
+    if profiler is not None:
+        text += "\n\n" + _profile_report(profiler, profile)
     if output is not None:
         output.mkdir(parents=True, exist_ok=True)
         (output / f"{name}.txt").write_text(text + "\n")
@@ -101,7 +132,7 @@ def main(argv: list[str] | None = None) -> int:
              if args.command == "all" else [args.command])
     for name in names:
         print(_run_one(name, args.pairs, args.seed, args.workers,
-                       args.timings, args.output))
+                       args.timings, args.output, args.profile))
         print()
     return 0
 

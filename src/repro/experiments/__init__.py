@@ -29,10 +29,11 @@ from repro.experiments.registry import (
     ExperimentSpec,
     all_specs,
     experiment_names,
+    get_experiment,
     get_spec,
     register,
 )
 
 __all__ = ["PairOutcome", "evaluate_pair", "run_pose_recovery_sweep",
-           "ExperimentSpec", "all_specs", "experiment_names", "get_spec",
-           "register"]
+           "ExperimentSpec", "all_specs", "experiment_names",
+           "get_experiment", "get_spec", "register"]

@@ -353,7 +353,7 @@ def _run_sweep_serial(dataset, config, detector_profile, include_vips,
     while True:
         index += 1
         try:
-            with stage(timings, "simulation"):
+            with stage(timings, "data_generation"):
                 record = next(iterator, _DONE)
             if record is _DONE:
                 break

@@ -33,8 +33,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["ExperimentSpec", "register", "get_spec", "all_specs",
-           "experiment_names"]
+__all__ = ["ExperimentSpec", "register", "get_spec", "get_experiment",
+           "all_specs", "experiment_names"]
 
 # Modules that register experiments on import, in the order the CLI
 # lists (and `all` runs) them.  Adding an experiment = writing the
@@ -158,6 +158,15 @@ def get_spec(name: str) -> ExperimentSpec:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown experiment {name!r}; known: {known}") \
             from None
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Public alias of :func:`get_spec` — look up one experiment by name.
+
+    External tooling kept reaching for ``get_experiment``; both names
+    now resolve to the same lookup.
+    """
+    return get_spec(name)
 
 
 def all_specs() -> tuple[ExperimentSpec, ...]:

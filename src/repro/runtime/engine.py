@@ -162,7 +162,7 @@ def _run_chunk(task: _ChunkTask):
         try:
             if task.fault is not None:
                 task.fault.maybe_fire(index)
-            with stage(timings, "simulation"):
+            with stage(timings, "data_generation"):
                 record = dataset[index]
             outcome = evaluate_pair(
                 record, aligner, detector, seed=task.seed,

@@ -1,6 +1,6 @@
 """Per-stage wall-time accounting for experiment sweeps.
 
-The pose-recovery sweep decomposes into six stages (simulation,
+The pose-recovery sweep decomposes into six stages (data generation,
 detection, BV extraction, stage-1 match, stage-2 align, baseline);
 :class:`SweepTimings` accumulates seconds per stage so a run can report
 where the time went.  Accumulators merge, which is how the parallel
@@ -27,7 +27,7 @@ __all__ = ["STAGES", "SweepTimings", "stage", "collect_timings",
 
 # Canonical stage order, matching the sweep's per-pair flow.
 STAGES: tuple[str, ...] = (
-    "simulation",       # dataset frame-pair generation
+    "data_generation",  # dataset frame-pair generation (world + scans)
     "detection",        # simulated detector draws
     "bv_extract",       # BV image -> MIM -> keypoints -> descriptors
     "stage1_match",     # descriptor matching + RANSAC (T_bv)

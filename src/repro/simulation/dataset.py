@@ -155,13 +155,30 @@ class V2VDatasetSim:
                         override_densities=False)
         return replace(cfg.base_scenario, world=world, distance=distance)
 
+    def _attempt(self, index: int, attempt: int,
+                 min_common: int = 0) -> FramePair | None:
+        """Generate the pair for one (index, attempt) seed draw.
+
+        ``min_common`` > 0 lets :func:`make_frame_pair` bail out (and
+        return None) as soon as the pair is certain to fail the
+        selection rule.  Each attempt has an independent generator, so
+        the screen never changes which pairs survive or their bytes.
+        """
+        rng = self._pair_rng(index, attempt)
+        scenario = self._sample_scenario(rng)
+        return make_frame_pair(scenario, rng, min_common=min_common)
+
     def _generate(self, index: int) -> FrameRecord:
         cfg = self.config
         pair = None
         for attempt in range(cfg.max_attempts):
-            rng = self._pair_rng(index, attempt)
-            scenario = self._sample_scenario(rng)
-            pair = make_frame_pair(scenario, rng)
+            # The final attempt's pair is kept even when it fails the
+            # selection rule, so only earlier attempts may be screened.
+            screen = (cfg.min_common_vehicles
+                      if attempt < cfg.max_attempts - 1 else 0)
+            pair = self._attempt(index, attempt, screen)
+            if pair is None:
+                continue
             if (cfg.min_common_vehicles == 0
                     or pair.num_common_vehicles >= cfg.min_common_vehicles):
                 return FrameRecord(index, pair, True)
@@ -176,9 +193,8 @@ class V2VDatasetSim:
         n = len(self) if sample is None else min(sample, len(self))
         hits = 0
         for index in range(n):
-            rng = self._pair_rng(index, 0)
-            scenario = self._sample_scenario(rng)
-            pair = make_frame_pair(scenario, rng)
-            if pair.num_common_vehicles >= cfg.min_common_vehicles:
+            pair = self._attempt(index, 0, cfg.min_common_vehicles)
+            if (pair is not None
+                    and pair.num_common_vehicles >= cfg.min_common_vehicles):
                 hits += 1
         return hits / max(n, 1)

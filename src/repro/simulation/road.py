@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.geometry.angles import wrap_to_pi
 from repro.geometry.se2 import SE2
 
 __all__ = ["RoadModel", "make_road"]
@@ -65,6 +66,24 @@ class RoadModel:
     def point_at(self, s: float, lateral: float = 0.0) -> np.ndarray:
         pose = self.pose_at(s, lateral)
         return np.array([pose.tx, pose.ty])
+
+    def frames_at(self, s: np.ndarray, lateral: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`pose_at`: ``(tx, ty, theta)`` arrays.
+
+        Element ``i`` is bit-identical to ``pose_at(s[i], lateral[i])``
+        (``np.clip``/``np.interp``/the trig are all elementwise, and the
+        heading is wrapped the same way ``SE2.__post_init__`` does), so
+        callers placing many objects can evaluate the road frame once
+        instead of per object.
+        """
+        s = np.clip(np.asarray(s, dtype=float), self.s_min, self.s_max)
+        lateral = np.asarray(lateral, dtype=float)
+        x = np.interp(s, self.s, self.xy[:, 0])
+        y = np.interp(s, self.s, self.xy[:, 1])
+        h = np.interp(s, self.s, self.heading)
+        nx, ny = -np.sin(h), np.cos(h)  # left normal
+        return x + lateral * nx, y + lateral * ny, wrap_to_pi(h)
 
 
 def make_road(length: float = 300.0,

@@ -22,6 +22,7 @@ from repro.geometry.se2 import SE2
 from repro.pointcloud.cloud import PointCloud, PointLabel
 from repro.pointcloud.distortion import (
     MotionState,
+    _pose_batch,
     compensate_self_motion_distortion,
 )
 from repro.simulation.lidar import LidarConfig, simulate_scan
@@ -31,6 +32,7 @@ from repro.simulation.world import (
     WorldConfig,
     WorldModel,
     generate_world,
+    share_static_geometry,
 )
 
 __all__ = ["VisibleObject", "ScenarioConfig", "FramePair", "make_frame_pair",
@@ -174,10 +176,16 @@ def _clear_area(world: WorldModel, positions: list[np.ndarray],
 
 def replace_world_vehicles(world: WorldModel,
                            vehicles: tuple[SimVehicle, ...]) -> WorldModel:
-    """A copy of the world with a different vehicle set."""
-    return WorldModel(buildings=world.buildings, trees=world.trees,
-                      poles=world.poles, vehicles=vehicles,
-                      extent=world.extent, road=world.road)
+    """A copy of the world with a different vehicle set.
+
+    The copy shares the source's static-geometry cache (the obstacle
+    tuples are reused verbatim), so per-frame vehicle swaps do not
+    rebuild the cached arrays — see ``WorldModel.static_geometry``.
+    """
+    new = WorldModel(buildings=world.buildings, trees=world.trees,
+                     poles=world.poles, vehicles=vehicles,
+                     extent=world.extent, road=world.road)
+    return share_static_geometry(world, new)
 
 
 def _distort_box(box: Box3D, residual_motion: MotionState,
@@ -213,6 +221,68 @@ def _visible_objects(cloud: PointCloud, vehicles: tuple[SimVehicle, ...],
                     if cloud.labels is not None
                     else np.ones(len(cloud), dtype=bool))
     vehicle_points = cloud.points[vehicle_mask]
+    if len(vehicle_points) == 0:
+        return ()
+    px = vehicle_points[:, 0]
+    py = vehicle_points[:, 1]
+    # Vehicles farther from the sensor than the farthest return (plus
+    # their own circumradius, the box inflation and a slack that dwarfs
+    # distortion drift and rounding) cannot contain any point — skip
+    # their transform and containment test outright.
+    r_max = float(np.sqrt(np.max(px * px + py * py)))
+    visible: list[VisibleObject] = []
+    for vehicle in vehicles:
+        if vehicle.vehicle_id == exclude_id:
+            continue
+        reach = (r_max + 5.0
+                 + 0.5 * float(np.hypot(vehicle.box.length + 0.4,
+                                        vehicle.box.width + 0.4)))
+        if (np.hypot(vehicle.box.center_x - sensor_pose.tx,
+                     vehicle.box.center_y - sensor_pose.ty) > reach):
+            continue
+        local_box = vehicle.box.transform(inv)
+        if residual_motion is not None:
+            local_box = _distort_box(local_box, residual_motion,
+                                     scan_duration)
+        # Tolerate range noise with a slightly inflated test box.
+        test_box = Box3D(local_box.center_x, local_box.center_y,
+                         local_box.center_z, local_box.length + 0.4,
+                         local_box.width + 0.4, local_box.height + 0.4,
+                         local_box.yaw)
+        # Only points within the box's BEV circumradius can be inside;
+        # the 1e-6 slack dwarfs the rotation's rounding, so the exact
+        # containment test over the near subset counts identically.
+        radius = (0.5 * float(np.hypot(test_box.length, test_box.width))
+                  + 1e-6)
+        near = ((px - test_box.center_x) ** 2
+                + (py - test_box.center_y) ** 2) <= radius * radius
+        count = int(np.count_nonzero(test_box.contains(
+            vehicle_points[near])))
+        if count >= min_points:
+            visible.append(VisibleObject(vehicle.vehicle_id, local_box,
+                                         count))
+    return tuple(visible)
+
+
+def _reference_visible_objects(
+        cloud: PointCloud, vehicles: tuple[SimVehicle, ...],
+        sensor_pose: SE2, min_points: int, exclude_id: int,
+        residual_motion: MotionState | None = None,
+        scan_duration: float = 0.1) -> tuple[VisibleObject, ...]:
+    """Pre-rework :func:`_visible_objects`: every vehicle tested against
+    every vehicle point.
+
+    Kept as the behavioral specification for the reach/circumradius
+    prefilters (identical visible set — ``tests/test_sim_equivalence.py``
+    enforces this).
+    """
+    if len(cloud) == 0:
+        return ()
+    inv = sensor_pose.inverse()
+    vehicle_mask = (cloud.labels == int(PointLabel.VEHICLE)
+                    if cloud.labels is not None
+                    else np.ones(len(cloud), dtype=bool))
+    vehicle_points = cloud.points[vehicle_mask]
     visible: list[VisibleObject] = []
     for vehicle in vehicles:
         if vehicle.vehicle_id == exclude_id:
@@ -237,7 +307,8 @@ def _visible_objects(cloud: PointCloud, vehicles: tuple[SimVehicle, ...],
 
 def make_frame_pair(config: ScenarioConfig | None = None,
                     rng: np.random.Generator | int | None = None,
-                    world: WorldModel | None = None) -> FramePair:
+                    world: WorldModel | None = None,
+                    min_common: int = 0) -> FramePair | None:
     """Generate one two-vehicle frame pair.
 
     Args:
@@ -245,9 +316,14 @@ def make_frame_pair(config: ScenarioConfig | None = None,
         rng: generator or seed.
         world: reuse a pre-generated world (vehicles near the cooperating
             cars are still cleared); a fresh one is generated when None.
+        min_common: when > 0, return None as soon as the pair is certain
+            to fail the dataset's common-vehicle selection rule (see
+            :func:`observe_frame`); 0 (the default) always builds the
+            full pair.
 
     Returns:
-        A :class:`FramePair` with scans, ground truth and visibility.
+        A :class:`FramePair` with scans, ground truth and visibility, or
+        None if the ``min_common`` screen rejected the pair early.
     """
     config = config or ScenarioConfig()
     if not isinstance(rng, np.random.Generator):
@@ -305,18 +381,67 @@ def make_frame_pair(config: ScenarioConfig | None = None,
                                                          config.yaw_rate_std)))
 
     return observe_frame(world, ego_pose, other_pose, ego_motion,
-                         other_motion, config, rng)
+                         other_motion, config, rng, min_common=min_common)
+
+
+def _compensate_on_grid(cloud: PointCloud, motion: MotionState,
+                        scan_duration: float,
+                        azimuth_steps: int) -> PointCloud:
+    """:func:`compensate_self_motion_distortion`, with the sweep poses
+    evaluated once on the scan's azimuth grid and gathered per point.
+
+    :func:`simulate_scan` timestamps points with exact azimuth-grid
+    values, so the per-point pose batch collapses to ``azimuth_steps``
+    entries — bit-identical output, a fraction of the trig.  Falls back
+    to the general routine if the timestamps turn out not to sit on the
+    expected grid (e.g. a resampled or merged cloud).
+    """
+    if len(cloud) == 0 or cloud.timestamps is None:
+        return compensate_self_motion_distortion(cloud, motion,
+                                                 scan_duration)
+    n_az = azimuth_steps
+    azimuths = -np.pi + 2.0 * np.pi * (np.arange(n_az) + 0.5) / n_az
+    grid_ts = (azimuths + np.pi) / (2.0 * np.pi)
+    # Grid timestamps are ~(row + 0.5) / n_az, so the inverse map is a
+    # rounding, not a search; the exact-match check below still decides
+    # whether the grid fast path applies.
+    idx = np.rint(cloud.timestamps * n_az - 0.5).astype(np.int64)
+    idx_c = np.clip(idx, 0, n_az - 1)
+    if not np.array_equal(grid_ts[idx_c], cloud.timestamps):
+        return compensate_self_motion_distortion(cloud, motion,
+                                                 scan_duration)
+    thetas_g, trans_g = _pose_batch(motion, grid_ts, scan_duration)
+    cos_g, sin_g = np.cos(thetas_g), np.sin(thetas_g)
+    cos_t, sin_t = cos_g.take(idx_c), sin_g.take(idx_c)
+    px = np.ascontiguousarray(cloud.points[:, 0])
+    py = np.ascontiguousarray(cloud.points[:, 1])
+    tx = np.ascontiguousarray(trans_g[:, 0])
+    ty = np.ascontiguousarray(trans_g[:, 1])
+    new_points = np.empty_like(cloud.points)
+    new_points[:, 0] = (cos_t * px - sin_t * py) + tx.take(idx_c)
+    new_points[:, 1] = (sin_t * px + cos_t * py) + ty.take(idx_c)
+    new_points[:, 2] = cloud.points[:, 2]
+    return PointCloud(new_points, cloud.timestamps, cloud.labels)
 
 
 def observe_frame(world: WorldModel, ego_pose: SE2, other_pose: SE2,
                   ego_motion: MotionState, other_motion: MotionState,
                   config: ScenarioConfig,
-                  rng: np.random.Generator | int | None = None) -> FramePair:
+                  rng: np.random.Generator | int | None = None,
+                  min_common: int = 0) -> FramePair | None:
     """Scan a given two-vehicle configuration into a :class:`FramePair`.
 
     This is the observation half of :func:`make_frame_pair`, exposed so
     sequence generators (:mod:`repro.simulation.sequence`) can evolve the
     vehicle configuration themselves and re-observe each frame.
+
+    ``min_common`` > 0 enables the dataset's rejection screen: common
+    vehicles are an intersection of the two visible sets, so once the
+    ego side alone has fewer than ``min_common`` world vehicles the pair
+    is certain to be rejected and the partner scan is skipped (returns
+    None).  The ego side consumes the same RNG draws either way and
+    per-attempt generators are independent, so enabling the screen
+    changes no surviving pair's bytes.
     """
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
@@ -332,38 +457,47 @@ def observe_frame(world: WorldModel, ego_pose: SE2, other_pose: SE2,
     world_for_other = replace_world_vehicles(
         world, world.vehicles + (ego_body,))
 
-    ego_cloud = simulate_scan(world_for_ego, ego_pose, config.ego_lidar,
-                              rng=rng, motion=ego_motion)
-    other_cloud = simulate_scan(world_for_other, other_pose,
-                                config.other_lidar, rng=rng,
-                                motion=other_motion)
-
     # Odometry-based de-skew (standard lidar preprocessing): compensate
     # with a slightly-wrong motion estimate, leaving the configured
     # fraction of the distortion in the data.
     comp_err = config.motion_compensation_error
-    if comp_err < 1.0:
-        ego_est = MotionState(ego_motion.velocity_x * (1.0 - comp_err),
-                              ego_motion.velocity_y * (1.0 - comp_err),
-                              ego_motion.yaw_rate * (1.0 - comp_err))
-        other_est = MotionState(other_motion.velocity_x * (1.0 - comp_err),
-                                other_motion.velocity_y * (1.0 - comp_err),
-                                other_motion.yaw_rate * (1.0 - comp_err))
-        ego_cloud = compensate_self_motion_distortion(
-            ego_cloud, ego_est, config.ego_lidar.scan_duration)
-        other_cloud = compensate_self_motion_distortion(
-            other_cloud, other_est, config.other_lidar.scan_duration)
-
     ego_residual = MotionState(ego_motion.velocity_x * comp_err,
                                ego_motion.velocity_y * comp_err,
                                ego_motion.yaw_rate * comp_err)
     other_residual = MotionState(other_motion.velocity_x * comp_err,
                                  other_motion.velocity_y * comp_err,
                                  other_motion.yaw_rate * comp_err)
+
+    # Ego side first, through visibility: nothing between the two scan
+    # calls draws randomness, so finishing the ego pipeline before the
+    # partner scan leaves every RNG draw at its reference position.
+    ego_cloud = simulate_scan(world_for_ego, ego_pose, config.ego_lidar,
+                              rng=rng, motion=ego_motion)
+    if comp_err < 1.0:
+        ego_est = MotionState(ego_motion.velocity_x * (1.0 - comp_err),
+                              ego_motion.velocity_y * (1.0 - comp_err),
+                              ego_motion.yaw_rate * (1.0 - comp_err))
+        ego_cloud = _compensate_on_grid(
+            ego_cloud, ego_est, config.ego_lidar.scan_duration,
+            config.ego_lidar.azimuth_steps)
     ego_visible = _visible_objects(ego_cloud, world_for_ego.vehicles,
                                    ego_pose, config.min_visible_points,
                                    EGO_VEHICLE_ID, ego_residual,
                                    config.ego_lidar.scan_duration)
+    if min_common > 0 and sum(
+            1 for v in ego_visible if v.vehicle_id >= 0) < min_common:
+        return None
+
+    other_cloud = simulate_scan(world_for_other, other_pose,
+                                config.other_lidar, rng=rng,
+                                motion=other_motion)
+    if comp_err < 1.0:
+        other_est = MotionState(other_motion.velocity_x * (1.0 - comp_err),
+                                other_motion.velocity_y * (1.0 - comp_err),
+                                other_motion.yaw_rate * (1.0 - comp_err))
+        other_cloud = _compensate_on_grid(
+            other_cloud, other_est, config.other_lidar.scan_duration,
+            config.other_lidar.azimuth_steps)
     other_visible = _visible_objects(other_cloud, world_for_other.vehicles,
                                      other_pose, config.min_visible_points,
                                      OTHER_VEHICLE_ID, other_residual,

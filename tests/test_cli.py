@@ -24,6 +24,12 @@ class TestParser:
         args = parser.parse_args(["fig7"])
         assert args.workers == 1
         assert args.timings is False
+        assert args.profile is None
+
+    def test_profile_flag(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig7", "--profile"]).profile == 25
+        assert parser.parse_args(["fig7", "--profile", "10"]).profile == 10
 
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
@@ -57,6 +63,12 @@ class TestExecution:
         assert main(["dataset-stats", "--pairs", "2", "--timings"]) == 0
         out = capsys.readouterr().out
         assert "Sweep timings" in out
+
+    def test_profile_report_printed(self, capsys):
+        assert main(["bandwidth", "--pairs", "2", "--profile", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "ncalls" in out
 
     def test_every_runner_accepts_standard_kwargs(self):
         """All registered runners share the uniform

@@ -33,6 +33,14 @@ class TestDiscovery:
         with pytest.raises(KeyError, match="unknown experiment"):
             get_spec("nonsense")
 
+    def test_get_experiment_is_public_alias(self):
+        from repro.experiments import get_experiment
+        from repro.experiments.registry import get_experiment as from_reg
+        assert get_experiment is from_reg
+        assert get_experiment("fig7") is get_spec("fig7")
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("nonsense")
+
     def test_reregistration_is_idempotent(self):
         spec = get_spec("fig7")
         assert register(spec) is spec
