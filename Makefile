@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-artifacts examples paper-scale clean
+.PHONY: install test lint bench bench-artifacts bench-check \
+	bench-baseline examples paper-scale clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Mirrors the CI lint job; degrades gracefully when the pinned tools
+# (pip install -e ".[dev]") are not installed locally.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro/obs src/repro/runtime tools/check_bench.py; \
+	else echo "ruff not installed; skipping (pip install -e '.[dev]')"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/obs src/repro/runtime; \
+	else echo "mypy not installed; skipping (pip install -e '.[dev]')"; fi
 
 test-report:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
@@ -18,6 +29,23 @@ bench:
 
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Regenerate the BENCH_*.json trajectories and gate them against the
+# committed baselines (timing drift warns; metric drift fails).
+bench-check:
+	$(PYTHON) -m pytest benchmarks/test_stage1_kernels.py \
+		benchmarks/test_sim_kernels.py -x -q -s
+	$(PYTHON) tools/check_bench.py benchmarks/results/BENCH_stage1.json \
+		benchmarks/results/BENCH_pipeline.json
+
+# Accept the current BENCH_*.json outputs as the new baselines.  Run
+# the benchmarks first (make bench-check), eyeball the drift, then
+# commit the files this copies.
+bench-baseline:
+	mkdir -p benchmarks/results/baselines
+	cp benchmarks/results/BENCH_stage1.json \
+		benchmarks/results/BENCH_pipeline.json \
+		benchmarks/results/baselines/
 
 examples:
 	$(PYTHON) examples/quickstart.py

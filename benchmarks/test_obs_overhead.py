@@ -1,0 +1,135 @@
+"""Overhead-neutrality of the disabled observability layer.
+
+The acceptance bar for the tracing/metrics layer is that a pipeline
+which *doesn't* opt in pays (approximately) nothing: every instrumented
+call site reduces to one context-var read.  These benches time the
+disabled-mode primitives against their theoretical floor and a small
+real sweep with and without instrumentation enabled.
+
+Timing assertions are tolerant by default (shared CI runners); set
+``REPRO_BENCH_STRICT=1`` to enforce the tight budgets.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+
+from repro.experiments.common import default_dataset, run_pose_recovery_sweep
+from repro.obs import (
+    MetricsRegistry,
+    collect_spans,
+    counter,
+    span,
+    use_registry,
+)
+from repro.runtime.timings import SweepTimings, stage
+
+_STRICT = os.environ.get("REPRO_BENCH_STRICT", "") == "1"
+
+# Disabled-mode budget: each no-op instrument call must stay within a
+# small multiple of an empty function call.  Generous by default; the
+# strict bound is what the design targets.
+_NOOP_BUDGET = 8.0 if _STRICT else 40.0
+# Enabled-vs-disabled budget for a real (tiny) sweep: the tracing cost
+# must vanish inside the pipeline's compute.
+_SWEEP_BUDGET = 1.02 if _STRICT else 1.25
+
+
+def _best_of(repeats: int, fn, *args) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _empty_loop(n: int) -> None:
+    f = _noop
+    for _ in range(n):
+        f()
+
+
+def _noop() -> None:
+    return None
+
+
+def _counter_loop(n: int) -> None:
+    for _ in range(n):
+        counter("bench/noop").inc()
+
+
+def _span_loop(n: int) -> None:
+    for _ in range(n):
+        with span("bench/noop"):
+            pass
+
+
+def _stage_loop(n: int) -> None:
+    for _ in range(n):
+        with stage(None, "bench/noop"):
+            pass
+
+
+def test_disabled_counter_is_cheap():
+    n = 50_000
+    floor = _best_of(5, _empty_loop, n)
+    cost = _best_of(5, _counter_loop, n)
+    ratio = cost / max(floor, 1e-9)
+    print(f"\n[obs-overhead] disabled counter: {cost / n * 1e9:.0f} ns/call"
+          f" ({ratio:.1f}x an empty call, budget {_NOOP_BUDGET:g}x)")
+    assert ratio < _NOOP_BUDGET
+
+
+def test_disabled_span_is_cheap():
+    n = 20_000
+    floor = _best_of(5, _empty_loop, n)
+    cost = _best_of(5, _span_loop, n)
+    per_call = cost / n
+    print(f"\n[obs-overhead] disabled span: {per_call * 1e9:.0f} ns/call")
+    # A disabled span is a generator context manager that bails on the
+    # first contextvar read; budget it in absolute terms.
+    assert per_call < (5e-6 if _STRICT else 2e-5)
+    assert cost / max(floor, 1e-9) < 400  # sanity: still near-free
+
+
+def test_disabled_stage_matches_nullcontext():
+    n = 20_000
+
+    def null_loop(count):
+        for _ in range(count):
+            with contextlib.nullcontext():
+                pass
+
+    floor = _best_of(5, null_loop, n)
+    cost = _best_of(5, _stage_loop, n)
+    ratio = cost / max(floor, 1e-9)
+    print(f"\n[obs-overhead] disabled stage(): {ratio:.1f}x nullcontext")
+    assert ratio < (6.0 if _STRICT else 30.0)
+
+
+def test_traced_sweep_overhead_within_budget():
+    """An instrumented-and-enabled sweep must cost within a few percent
+    of the plain sweep — and return identical outcomes."""
+    dataset = default_dataset(6, seed=2024)
+
+    def plain():
+        return run_pose_recovery_sweep(dataset, include_vips=False,
+                                       cache=False)
+
+    def traced():
+        timings = SweepTimings()
+        with use_registry(MetricsRegistry()), collect_spans():
+            return run_pose_recovery_sweep(dataset, include_vips=False,
+                                           cache=False, timings=timings)
+
+    plain(), traced()  # warm caches (imports, data-gen JIT paths)
+    plain_s = _best_of(3, plain)
+    traced_s = _best_of(3, traced)
+    ratio = traced_s / max(plain_s, 1e-9)
+    print(f"\n[obs-overhead] sweep traced/untraced: {ratio:.3f}x "
+          f"(budget {_SWEEP_BUDGET:g}x)")
+    assert plain() == traced()
+    assert ratio < _SWEEP_BUDGET

@@ -14,14 +14,17 @@ the CLI imports no experiment module directly; each registers itself as
 an :class:`~repro.experiments.registry.ExperimentSpec` on import.
 ``--workers`` shards sweep-backed experiments over a process pool,
 ``--timings`` prints the per-stage :class:`~repro.runtime.SweepTimings`
-report after each experiment, and ``--profile [N]`` runs the experiment
-under :mod:`cProfile` and appends the top N functions by cumulative
-time (default 25).
+report after each experiment, ``--trace out.jsonl`` exports the run's
+spans and metrics as JSON lines (see ``docs/api.md`` for the schema;
+with ``all``, one file per experiment via a ``-<name>`` suffix), and
+``--profile [N]`` runs the experiment under :mod:`cProfile` and appends
+the top N functions by cumulative time (default 25).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import cProfile
 import io
 import pathlib
@@ -31,6 +34,8 @@ import warnings
 from typing import Callable
 
 from repro.experiments.registry import all_specs, get_spec
+from repro.obs.export import trace_session
+from repro.obs.metrics import active_registry
 from repro.runtime.timings import collect_timings
 
 __all__ = ["main"]
@@ -76,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "functions by cumulative time (default 25)")
     common.add_argument("--output", type=pathlib.Path, default=None,
                         help="directory to also write <name>.txt into")
+    common.add_argument("--trace", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="export trace spans and metrics to a "
+                             "JSON-lines file (schema in docs/api.md)")
 
     for spec in all_specs():
         sub.add_parser(spec.name, parents=[common], help=spec.description)
@@ -93,7 +102,8 @@ def _profile_report(profiler: cProfile.Profile, top: int) -> str:
 
 def _run_one(name: str, pairs: int, seed: int, workers: int,
              timings: bool, output: pathlib.Path | None,
-             profile: int | None = None) -> str:
+             profile: int | None = None,
+             trace: pathlib.Path | None = None) -> str:
     spec = get_spec(name)
     profiler = cProfile.Profile() if profile is not None else None
 
@@ -106,12 +116,25 @@ def _run_one(name: str, pairs: int, seed: int, workers: int,
             if profiler is not None:
                 profiler.disable()
 
-    if timings:
-        with collect_timings() as report:
-            result = _invoke()
-        text = spec.format(result) + "\n\n" + report.format()
-    else:
-        text = spec.format(_invoke())
+    trace_cm = (trace_session(trace, command=name, pairs=pairs, seed=seed,
+                              workers=workers)
+                if trace is not None else contextlib.nullcontext())
+    with trace_cm:
+        if timings or trace is not None:
+            # Tracing always collects timings: the sweep records its
+            # stage seconds and pipeline counters into the report's
+            # registry, which folds into the trace session's on exit.
+            with collect_timings() as report:
+                result = _invoke()
+            if trace is not None:
+                registry = active_registry()
+                if registry is not None:
+                    registry.merge(report.registry)
+            text = spec.format(result)
+            if timings:
+                text += "\n\n" + report.format()
+        else:
+            text = spec.format(_invoke())
     if profiler is not None:
         text += "\n\n" + _profile_report(profiler, profile)
     if output is not None:
@@ -131,8 +154,13 @@ def main(argv: list[str] | None = None) -> int:
     names = ([spec.name for spec in all_specs()]
              if args.command == "all" else [args.command])
     for name in names:
+        trace = args.trace
+        if trace is not None and len(names) > 1:
+            # One trace session per experiment: suffix the stem so "all"
+            # does not overwrite earlier experiments' traces.
+            trace = trace.with_name(f"{trace.stem}-{name}{trace.suffix}")
         print(_run_one(name, args.pairs, args.seed, args.workers,
-                       args.timings, args.output, args.profile))
+                       args.timings, args.output, args.profile, trace))
         print()
     return 0
 

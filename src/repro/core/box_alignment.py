@@ -22,6 +22,7 @@ from repro.boxes.matching import (
 from repro.core.config import BoxAlignConfig
 from repro.geometry.ransac import RansacResult, ransac_rigid_2d
 from repro.geometry.se2 import SE2
+from repro.obs.metrics import counter, histogram
 
 __all__ = ["BoxAlignment", "BoxAligner"]
 
@@ -78,13 +79,16 @@ class BoxAligner:
         """
         cfg = self.config
         if not other_boxes or not ego_boxes:
+            counter("stage2/skipped_no_boxes").inc()
             return BoxAlignment.skipped()
 
         transformed = [box.transform(stage1_transform) for box in other_boxes]
         matches = match_boxes_by_overlap(transformed, ego_boxes,
                                          min_iou=cfg.min_overlap_iou)
         if not matches:
+            counter("stage2/skipped_no_overlap").inc()
             return BoxAlignment.skipped()
+        histogram("stage2/matched_boxes").observe(float(len(matches)))
 
         src, dst = corner_correspondences(transformed, ego_boxes, matches)
         ransac = ransac_rigid_2d(src, dst,
@@ -102,7 +106,9 @@ class BoxAligner:
             # The "correction" teleports boxes across the scene — stage 1
             # residuals are never that large, so this is a mismatch; keep
             # the stage-1 estimate.
+            counter("stage2/correction_rejected").inc()
             return BoxAlignment(SE2.identity(), 0, len(matches), len(src),
                                 False, ransac, matches)
+        histogram("stage2/inliers_box").observe(float(ransac.num_inliers))
         return BoxAlignment(correction, ransac.num_inliers, len(matches),
                             len(src), True, ransac, matches)

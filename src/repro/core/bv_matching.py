@@ -24,6 +24,7 @@ from repro.features.harris import detect_harris
 from repro.features.pc_keypoints import PcKeypointConfig, detect_pc_keypoints
 from repro.features.matching import MatchResult, match_descriptors
 from repro.geometry.ransac import RansacResult, ransac_rigid_2d
+from repro.obs.metrics import counter, histogram
 from repro.geometry.se2 import SE2
 from repro.pointcloud.cloud import PointCloud
 
@@ -193,6 +194,7 @@ class BVMatcher:
 
         direct = self._match_one(other, ego, rng, timer)
         if not cfg.disambiguate_pi:
+            self._record_match(direct)
             return direct
 
         # Second hypothesis: the other image rotated 180 degrees, which
@@ -205,20 +207,38 @@ class BVMatcher:
                                  self._flipped_descriptors(other, flipped))
         mirrored = self._match_one(flipped, ego, rng, timer)
         if mirrored.inliers_bv <= direct.inliers_bv:
+            self._record_match(direct)
             return direct
         # Compose out the flip: p_flipped = (H-1) - p = SE2(pi, H-1, H-1) p.
         size = other.bv_image.size
         flip = SE2(np.pi, float(size - 1), float(size - 1))
         pixel_transform = mirrored.pixel_transform @ flip
         world = ego.bv_image.pixel_transform_to_world(pixel_transform)
-        return BVMatch(transform=world,
-                       inliers_bv=mirrored.inliers_bv,
-                       num_matches=mirrored.num_matches,
-                       success=mirrored.success,
-                       pixel_transform=pixel_transform,
-                       ransac=mirrored.ransac,
-                       matches=mirrored.matches,
-                       used_flip=True)
+        result = BVMatch(transform=world,
+                         inliers_bv=mirrored.inliers_bv,
+                         num_matches=mirrored.num_matches,
+                         success=mirrored.success,
+                         pixel_transform=pixel_transform,
+                         ransac=mirrored.ransac,
+                         matches=mirrored.matches,
+                         used_flip=True)
+        self._record_match(result)
+        return result
+
+    @staticmethod
+    def _record_match(match: "BVMatch") -> None:
+        """Observability: per-match counts into the active registry.
+
+        A no-op unless a registry is installed; reads results only, so
+        traced and untraced matching stay byte-identical.
+        """
+        counter("stage1/matches").inc()
+        if match.success:
+            counter("stage1/consensus").inc()
+        if match.used_flip:
+            counter("stage1/flip_wins").inc()
+        histogram("stage1/num_matches").observe(float(match.num_matches))
+        histogram("stage1/inliers_bv").observe(float(match.inliers_bv))
 
     def _flipped_descriptors(self, other: BVFeatures,
                              flipped: BVFeatures) -> DescriptorSet:

@@ -25,7 +25,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["FailureReason", "DegradationLevel", "StageDiagnostics"]
+from repro.obs.metrics import counter
+
+__all__ = ["FailureReason", "DegradationLevel", "StageDiagnostics",
+           "record_transition"]
 
 
 class FailureReason(str, enum.Enum):
@@ -69,6 +72,23 @@ class DegradationLevel(str, enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+def record_transition(level: "DegradationLevel",
+                      reason: "FailureReason | None") -> None:
+    """Count one walk down (or along) the ladder into the active
+    metrics registry.
+
+    Called by the pipeline every time a recovery resolves, so a sweep's
+    registry (and hence its trace export) carries the per-reason failure
+    rates and per-rung fallback rates — which stage failed and how
+    often, not just how long it took.  No-op when no registry is
+    installed; consumes no randomness either way.
+    """
+    counter("pipeline/recoveries").inc()
+    counter(f"pipeline/degradation/{level.value}").inc()
+    if reason is not None:
+        counter(f"pipeline/failure/{reason.value}").inc()
 
 
 @dataclass(frozen=True)

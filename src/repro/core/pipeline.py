@@ -41,6 +41,7 @@ from repro.core.degradation import (
     DegradationLevel,
     FailureReason,
     StageDiagnostics,
+    record_transition,
 )
 from repro.core.result import PoseRecoveryResult
 from repro.features.matching import MatchResult
@@ -133,6 +134,7 @@ class BBAlign:
         else:
             transform = SE2.identity()
             level = DegradationLevel.IDENTITY
+        record_transition(level, reason)
         return PoseRecoveryResult(
             transform=transform,
             transform_3d=SE3.from_se2(transform),
@@ -281,6 +283,7 @@ class BBAlign:
         degradation = (DegradationLevel.STAGE1_ONLY
                        if stage2_failure is not None
                        else DegradationLevel.FULL)
+        record_transition(degradation, failure_reason)
         return PoseRecoveryResult(
             transform=combined,
             transform_3d=transform_3d,

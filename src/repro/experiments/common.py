@@ -16,6 +16,7 @@ indices, so adjacent seeds cannot alias onto each other's streams.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import time
 import warnings
@@ -34,6 +35,8 @@ from repro.detection.simulated import (
     SimulatedDetector,
 )
 from repro.metrics.pose_error import PoseErrors, pose_errors
+from repro.obs.metrics import use_registry
+from repro.obs.spans import span
 from repro.runtime.cache import (
     FeatureCache,
     dataset_fingerprint,
@@ -347,23 +350,33 @@ def _run_sweep_serial(dataset, config, detector_profile, include_vips,
         ds_fp = dataset_fingerprint(dataset.config)
         ext_fp = extraction_fingerprint(aligner.config)
 
+    # The sweep's registry becomes the ambient instrument store for the
+    # duration, so pipeline/degradation counters recorded deep inside
+    # recover_from_features land next to the stage timings they explain
+    # (pool workers get the same treatment from the engine's chunk-local
+    # registry).
+    registry_cm = (use_registry(timings.registry)
+                   if timings is not None else contextlib.nullcontext())
     outcomes: list[PairOutcome | PairErrorOutcome] = []
     index = -1
     iterator = iter(dataset)
-    while True:
-        index += 1
-        try:
-            with stage(timings, "data_generation"):
-                record = next(iterator, _DONE)
-            if record is _DONE:
-                break
-            outcomes.append(evaluate_pair(
-                record, aligner, detector, seed=seed,
-                include_vips=include_vips, vips_config=vips_config,
-                cache=cache, dataset_fp=ds_fp, extraction_fp=ext_fp,
-                timings=timings))
-        except Exception as error:
-            outcomes.append(PairErrorOutcome.from_exception(index, error))
+    with registry_cm, span("engine/sweep", mode="serial",
+                           pairs=len(dataset)):
+        while True:
+            index += 1
+            try:
+                with stage(timings, "data_generation"):
+                    record = next(iterator, _DONE)
+                if record is _DONE:
+                    break
+                with span("engine/pair", index=index):
+                    outcomes.append(evaluate_pair(
+                        record, aligner, detector, seed=seed,
+                        include_vips=include_vips, vips_config=vips_config,
+                        cache=cache, dataset_fp=ds_fp, extraction_fp=ext_fp,
+                        timings=timings))
+            except Exception as error:
+                outcomes.append(PairErrorOutcome.from_exception(index, error))
     if timings is not None:
         timings.pairs += len(outcomes)
         timings.wall_seconds += time.perf_counter() - start

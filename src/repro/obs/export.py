@@ -1,0 +1,91 @@
+"""JSON-lines export of trace spans and metric snapshots.
+
+One event per line, schema documented in ``docs/api.md``.  Three event
+types:
+
+* ``meta`` — one header line per traced run: schema version, command,
+  pid, start time.
+* ``span`` — one finished span (see :mod:`repro.obs.spans`).
+* ``metrics`` — a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`,
+  written when the traced region closes.
+
+The exporter is parent-process-only: pool workers buffer span events in
+their chunk-local collector and ship them back inside the chunk result,
+so no two processes ever write the same file.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+import time
+from typing import IO, Iterator, Mapping
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.spans import TraceCollector, collect_spans
+
+__all__ = ["EVENT_SCHEMA_VERSION", "JsonlExporter", "trace_session"]
+
+EVENT_SCHEMA_VERSION = 1
+
+
+class JsonlExporter:
+    """Appends one JSON object per line to a trace file."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._stream: IO[str] | None = None
+
+    def __enter__(self) -> "JsonlExporter":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = self.path.open("w", encoding="utf-8")
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    # ------------------------------------------------------------------
+    def write(self, event: Mapping) -> None:
+        if self._stream is None:
+            raise RuntimeError("exporter is not open")
+        json.dump(event, self._stream, sort_keys=True,
+                  separators=(",", ":"), default=str)
+        self._stream.write("\n")
+
+    def write_meta(self, **fields: object) -> None:
+        self.write({"type": "meta", "schema_version": EVENT_SCHEMA_VERSION,
+                    "unix_time": round(time.time(), 3), **fields})
+
+    def write_spans(self, collector: TraceCollector) -> None:
+        for event in collector.events:
+            self.write(event)
+
+    def write_metrics(self, registry: MetricsRegistry,
+                      **fields: object) -> None:
+        self.write({"type": "metrics", **fields, **registry.snapshot()})
+
+
+@contextlib.contextmanager
+def trace_session(path: str | pathlib.Path,
+                  **meta: object) -> Iterator[TraceCollector]:
+    """Trace the enclosed block into a JSONL file.
+
+    Installs a span collector *and* a metrics registry for the block,
+    then writes the header, every span event, and the final merged
+    metrics snapshot on exit — the implementation behind the CLI's
+    ``--trace out.jsonl`` flag.
+    """
+    with JsonlExporter(path) as exporter:
+        exporter.write_meta(**meta)
+        registry = MetricsRegistry()
+        started = time.perf_counter()
+        try:
+            with use_registry(registry), collect_spans() as collector:
+                yield collector
+        finally:
+            exporter.write_spans(collector)
+            exporter.write_metrics(
+                registry, wall_s=round(time.perf_counter() - started, 6))

@@ -1,0 +1,227 @@
+"""Typed counters and histograms in a process-local registry.
+
+The observability layer's numeric store.  A :class:`MetricsRegistry`
+holds named :class:`Counter` and :class:`Histogram` instruments;
+instrumented code asks the *active* registry for an instrument by name
+and updates it.  When no registry is installed the shared no-op
+instruments are returned, so a disabled pipeline pays one context-var
+read per update and allocates nothing.
+
+Registries are process-local by design: a pool worker records into a
+chunk-local registry and ships a :meth:`MetricsRegistry.snapshot` (a
+plain picklable dict) back to the parent inside the engine's existing
+chunk-result protocol; the parent folds snapshots together with
+:meth:`MetricsRegistry.merge_snapshot`.  Snapshots are also what the
+JSON-lines exporter writes (see :mod:`repro.obs.export`).
+
+Instrument names use ``/`` as the hierarchy separator
+(``engine/chunk_retries``, ``stage/bv_extract/mim``) — the same
+convention :class:`~repro.runtime.timings.SweepTimings` uses for its
+detail stages.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import math
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "active_registry",
+    "counter",
+    "histogram",
+    "use_registry",
+]
+
+
+class Counter:
+    """A monotonically adjustable integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = int(value)
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A streaming summary of float observations (count/total/min/max).
+
+    Deliberately bucket-free: the sweep's consumers need totals (stage
+    seconds), rates (total/count) and extremes, and a fixed-bucket
+    histogram would force a unit choice on every instrument.  ``total``
+    and ``count`` merge and un-merge exactly, which is what the engine's
+    chunk-deduplicated aggregation needs; ``min``/``max`` are lifetime
+    extremes and survive a re-merge unadjusted (documented in
+    ``docs/api.md``).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"total={self.total:.6f})")
+
+
+class _NoopCounter(Counter):
+    """Shared sink for updates recorded while no registry is active."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002
+        return None
+
+
+class _NoopHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        return None
+
+
+_NOOP_COUNTER = _NoopCounter("noop")
+_NOOP_HISTOGRAM = _NoopHistogram("noop")
+
+
+class MetricsRegistry:
+    """A process-local collection of named instruments.
+
+    Instruments are created on first use and live for the registry's
+    lifetime.  The registry is not thread-safe by design — the sweep is
+    process-parallel, and each worker records into its own chunk-local
+    registry.
+    """
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-dict copy of every instrument (picklable, JSON-safe).
+
+        This is the unit that crosses the process boundary in the
+        engine's chunk protocol and the payload of the exporter's
+        ``metrics`` event.  Infinite min/max (an observation-free
+        histogram) serialize as ``None``.
+        """
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": None if math.isinf(h.min) else h.min,
+                    "max": None if math.isinf(h.max) else h.max,
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Mapping, sign: int = 1) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        ``sign=-1`` subtracts a previously merged snapshot's counters
+        and histogram count/total — the primitive behind chunk-keyed
+        deduplication (:meth:`repro.runtime.timings.SweepTimings.merge_chunk`).
+        Histogram min/max only ever widen; a subtraction leaves them be.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += sign * value
+        for name, data in snapshot.get("histograms", {}).items():
+            h = self.histogram(name)
+            h.count += sign * data["count"]
+            h.total += sign * data["total"]
+            if sign > 0:
+                if data["min"] is not None and data["min"] < h.min:
+                    h.min = data["min"]
+                if data["max"] is not None and data["max"] > h.max:
+                    h.max = data["max"]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+
+# ----------------------------------------------------------------------
+# The active registry.  Instrumented code never holds a registry —
+# it asks for the ambient one at update time, so the same call site
+# records into a chunk-local registry inside a pool worker, into the
+# sweep's registry in a serial run, and into nothing at all otherwise.
+# ----------------------------------------------------------------------
+_ACTIVE: contextvars.ContextVar[MetricsRegistry | None] = \
+    contextvars.ContextVar("repro_obs_active_registry", default=None)
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The installed registry, or ``None`` when metrics are disabled."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the ambient instrument store."""
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)
+
+
+def counter(name: str) -> Counter:
+    """The active registry's counter ``name`` (no-op when disabled)."""
+    registry = _ACTIVE.get()
+    if registry is None:
+        return _NOOP_COUNTER
+    return registry.counter(name)
+
+
+def histogram(name: str) -> Histogram:
+    """The active registry's histogram ``name`` (no-op when disabled)."""
+    registry = _ACTIVE.get()
+    if registry is None:
+        return _NOOP_HISTOGRAM
+    return registry.histogram(name)

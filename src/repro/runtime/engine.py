@@ -29,6 +29,14 @@ Design notes:
   in-process; a chunk that even the serial path cannot finish yields
   one error record per pair.  No single pathological pair, worker or
   chunk can take down a sweep.
+* **Telemetry** rides the chunk protocol.  Each worker records stage
+  seconds, pipeline counters and (when the parent traced the sweep)
+  span events into a chunk-local registry and returns a picklable
+  snapshot with the outcomes; the parent folds snapshots in *keyed by
+  chunk* (:meth:`~repro.runtime.timings.SweepTimings.merge_chunk`), so
+  the retry ladder can deliver a chunk's telemetry more than once
+  without any stage being double-counted.  Retries, timeouts and serial
+  fallbacks are themselves counted (``engine/*`` counters).
 * **Fallback**: anything that prevents pool execution entirely (no
   process support, pool creation refused) still raises
   :class:`PoolUnavailableError`; ``run_pose_recovery_sweep`` catches it
@@ -38,17 +46,18 @@ Design notes:
 from __future__ import annotations
 
 import atexit
+import contextlib
 import math
 import os
-import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.baselines.vips import VipsConfig
 from repro.core.config import BBAlignConfig
 from repro.detection.simulated import COBEVT_PROFILE, DetectorProfile
+from repro.obs.metrics import use_registry
+from repro.obs.spans import active_collector, collect_spans, span
 from repro.runtime.cache import (
     dataset_fingerprint,
     extraction_fingerprint,
@@ -101,7 +110,9 @@ class _ChunkTask:
 
     Only configuration travels to the worker — frame pairs regenerate
     there from ``(dataset_config, index)``, so no point clouds cross the
-    process boundary.
+    process boundary.  ``trace_parent`` carries the parent-side sweep
+    span id so worker spans nest under it; ``attempt`` numbers the rung
+    of the retry ladder delivering the chunk (0 = first pool attempt).
     """
 
     indices: tuple[int, ...]
@@ -112,6 +123,8 @@ class _ChunkTask:
     vips_config: VipsConfig | None
     seed: int
     fault: WorkerFault | None = None
+    trace_parent: str | None = None
+    attempt: int = 0
 
     def state_key(self) -> tuple:
         return (dataset_fingerprint(self.dataset_config),
@@ -140,13 +153,19 @@ def _worker_state(task: _ChunkTask) -> tuple:
     return _WORKER_STATE
 
 
-def _run_chunk(task: _ChunkTask):
-    """Evaluate one chunk; returns (first index, outcomes, timings).
+def _run_chunk(task: _ChunkTask) -> tuple[int, list, dict]:
+    """Evaluate one chunk; returns (first index, outcomes, telemetry).
 
     A pair whose evaluation raises is captured as a
     :class:`~repro.experiments.common.PairErrorOutcome` — one degraded
     data point — and the chunk moves on.  Only process-level failures
     (worker death, hang) escape to the parent's chunk-retry ladder.
+
+    ``telemetry`` is picklable: the chunk-local registry snapshot (stage
+    seconds, pipeline counters, pair count) plus the chunk's span events
+    when the parent traced the sweep.  Everything the chunk records goes
+    through the chunk-local registry installed here, so a chunk is an
+    atomic, dedupable telemetry unit.
     """
     # Imported here (not at module top) so the runtime package carries no
     # import-time dependency on the experiments package.
@@ -158,23 +177,37 @@ def _run_chunk(task: _ChunkTask):
     ext_fp = extraction_fingerprint(aligner.config)
     timings = SweepTimings()
     outcomes = []
-    for index in task.indices:
-        try:
-            if task.fault is not None:
-                task.fault.maybe_fire(index)
-            with stage(timings, "data_generation"):
-                record = dataset[index]
-            outcome = evaluate_pair(
-                record, aligner, detector, seed=task.seed,
-                include_vips=task.include_vips,
-                vips_config=task.vips_config,
-                cache=cache, dataset_fp=ds_fp, extraction_fp=ext_fp,
-                timings=timings)
-        except Exception as error:
-            outcome = PairErrorOutcome.from_exception(index, error)
-        outcomes.append(outcome)
+    # Span collection is paid only when the parent traced the sweep; the
+    # chunk-local registry is installed either way so pipeline counters
+    # always travel home with the chunk.
+    spans_cm: contextlib.AbstractContextManager
+    spans_cm = (collect_spans(task.trace_parent)
+                if task.trace_parent is not None
+                else contextlib.nullcontext(None))
+    with use_registry(timings.registry), spans_cm as collector:
+        with span("engine/chunk", first_index=task.indices[0],
+                  pairs=len(task.indices), attempt=task.attempt):
+            for index in task.indices:
+                try:
+                    if task.fault is not None:
+                        task.fault.maybe_fire(index)
+                    with span("engine/pair", index=index):
+                        with stage(timings, "data_generation"):
+                            record = dataset[index]
+                        outcome = evaluate_pair(
+                            record, aligner, detector, seed=task.seed,
+                            include_vips=task.include_vips,
+                            vips_config=task.vips_config,
+                            cache=cache, dataset_fp=ds_fp,
+                            extraction_fp=ext_fp, timings=timings)
+                except Exception as error:
+                    timings.registry.counter("engine/pair_errors").inc()
+                    outcome = PairErrorOutcome.from_exception(index, error)
+                outcomes.append(outcome)
     timings.pairs = len(outcomes)
-    return task.indices[0], outcomes, timings
+    telemetry = {"snapshot": timings.to_snapshot(),
+                 "spans": collector.events if collector is not None else []}
+    return task.indices[0], outcomes, telemetry
 
 
 # ----------------------------------------------------------------------
@@ -227,14 +260,16 @@ atexit.register(_shutdown_pool_at_exit)
 
 
 def _collect_chunks(pool: ProcessPoolExecutor, tasks: list[_ChunkTask],
-                    per_chunk: dict[int, tuple],
+                    per_chunk: dict[int, tuple], merged: SweepTimings,
                     chunk_timeout: float | None) -> list[tuple[_ChunkTask,
                                                                Exception]]:
     """Submit ``tasks`` and gather results; returns the failed ones.
 
-    Successful chunks land in ``per_chunk`` keyed by first pair index.
-    Any per-chunk failure — worker death, timeout, serialization error,
-    an exception escaping the worker — is captured with its task for the
+    Successful chunks land in ``per_chunk`` keyed by first pair index
+    and their telemetry folds into ``merged`` (chunk-keyed, so a chunk
+    retried by the caller's ladder replaces rather than adds).  Any
+    per-chunk failure — worker death, timeout, serialization error, an
+    exception escaping the worker — is captured with its task for the
     caller's retry ladder, never raised.
     """
     failed: list[tuple[_ChunkTask, Exception]] = []
@@ -246,15 +281,21 @@ def _collect_chunks(pool: ProcessPoolExecutor, tasks: list[_ChunkTask],
             failed.append((task, error))
     for future, task in futures:
         try:
-            first_index, outcomes, chunk_timings = future.result(
+            first_index, outcomes, telemetry = future.result(
                 timeout=chunk_timeout)
-            per_chunk[first_index] = (outcomes, chunk_timings)
-        except Exception as error:
+        except TimeoutError as error:
+            merged.registry.counter("engine/chunk_timeouts").inc()
             failed.append((task, error))
+        except Exception as error:
+            merged.registry.counter("engine/chunk_failures").inc()
+            failed.append((task, error))
+        else:
+            per_chunk[first_index] = (outcomes, telemetry)
+            merged.merge_chunk(first_index, telemetry["snapshot"])
     return failed
 
 
-def _run_chunk_serially(task: _ChunkTask) -> tuple[int, list, SweepTimings]:
+def _run_chunk_serially(task: _ChunkTask) -> tuple[int, list, dict]:
     """Last rung: run a chunk in-process; even that failing yields
     one error record per pair instead of an exception."""
     try:
@@ -263,7 +304,7 @@ def _run_chunk_serially(task: _ChunkTask) -> tuple[int, list, SweepTimings]:
         from repro.experiments.common import PairErrorOutcome
         outcomes = [PairErrorOutcome.from_exception(index, error)
                     for index in task.indices]
-        return task.indices[0], outcomes, SweepTimings()
+        return task.indices[0], outcomes, {"snapshot": {}, "spans": []}
 
 
 def run_sweep_parallel(
@@ -286,9 +327,13 @@ def run_sweep_parallel(
     serial sweep produces: one ``PairOutcome`` per pair — or a
     ``PairErrorOutcome`` for a pair whose evaluation failed even after
     the retry ladder.  Per-chunk stage timings are merged into
-    ``timings`` when given; merged stage seconds are CPU-seconds summed
-    across workers, while ``wall_seconds`` reflects the pool's elapsed
-    time as seen from the parent.
+    ``timings`` when given — keyed by chunk, so a chunk that visits
+    several rungs of the retry ladder contributes exactly once; merged
+    stage seconds are CPU-seconds summed across workers, while
+    ``wall_seconds`` reflects the pool's elapsed time as seen from the
+    parent.  When a trace collector is active, worker span events are
+    re-emitted into it (chunk-deduplicated, in chunk order) under a
+    parent-side ``engine/sweep`` span.
 
     Chunk failures degrade, they don't abort: a failed chunk is
     resubmitted once to a restarted pool (outstanding futures cancelled
@@ -304,38 +349,52 @@ def run_sweep_parallel(
     chunks = chunk_indices(num_pairs, workers, chunk_size)
     if not chunks:
         return []
-    tasks = [_ChunkTask(indices, dataset_config, config, detector_profile,
-                        include_vips, vips_config, seed, fault)
-             for indices in chunks]
-    start = time.perf_counter()
-    pool = _get_pool(workers)
-    per_chunk: dict[int, tuple] = {}
-    failed = _collect_chunks(pool, tasks, per_chunk, chunk_timeout)
-    if failed:
-        # Retry the failures once on a fresh pool.  Cancel anything
-        # still queued and tear the old pool down without waiting, so
-        # the retry (and a possible serial fallback) never races
-        # chunks still running in half-broken workers.
-        shutdown_pool(wait=False, cancel_futures=True)
-        retry_tasks = [task for task, _ in failed]
-        try:
-            pool = _get_pool(workers)
-            failed = _collect_chunks(pool, retry_tasks, per_chunk,
-                                     chunk_timeout)
-        except PoolUnavailableError:
-            failed = [(task, error) for task, error in failed]
+    collector = active_collector()
+    with span("engine/sweep", pairs=num_pairs, workers=workers,
+              chunks=len(chunks)) as sweep_span:
+        trace_parent = sweep_span.span_id if sweep_span is not None else None
+        tasks = [_ChunkTask(indices, dataset_config, config,
+                            detector_profile, include_vips, vips_config,
+                            seed, fault, trace_parent)
+                 for indices in chunks]
+        start = time.perf_counter()
+        pool = _get_pool(workers)
+        per_chunk: dict[int, tuple] = {}
+        merged = SweepTimings()
+        merged.registry.counter("engine/chunks").inc(len(chunks))
+        failed = _collect_chunks(pool, tasks, per_chunk, merged,
+                                 chunk_timeout)
         if failed:
+            # Retry the failures once on a fresh pool.  Cancel anything
+            # still queued and tear the old pool down without waiting, so
+            # the retry (and a possible serial fallback) never races
+            # chunks still running in half-broken workers.
             shutdown_pool(wait=False, cancel_futures=True)
-        for task, _error in failed:
-            first_index, outcomes, chunk_timings = _run_chunk_serially(task)
-            per_chunk[first_index] = (outcomes, chunk_timings)
+            merged.registry.counter("engine/chunk_retries").inc(len(failed))
+            retry_tasks = [replace(task, attempt=1) for task, _ in failed]
+            try:
+                pool = _get_pool(workers)
+                failed = _collect_chunks(pool, retry_tasks, per_chunk,
+                                         merged, chunk_timeout)
+            except PoolUnavailableError:
+                failed = [(replace(task, attempt=1), error)
+                          for task, error in failed]
+            if failed:
+                shutdown_pool(wait=False, cancel_futures=True)
+            for task, _error in failed:
+                merged.registry.counter("engine/serial_fallbacks").inc()
+                first_index, outcomes, telemetry = _run_chunk_serially(
+                    replace(task, attempt=2))
+                per_chunk[first_index] = (outcomes, telemetry)
+                merged.merge_chunk(first_index, telemetry["snapshot"])
 
-    ordered = []
-    merged = SweepTimings()
-    for first_index in sorted(per_chunk):
-        outcomes, chunk_timings = per_chunk[first_index]
-        ordered.extend(outcomes)
-        merged.merge(chunk_timings)
+        ordered = []
+        for first_index in sorted(per_chunk):
+            outcomes, telemetry = per_chunk[first_index]
+            ordered.extend(outcomes)
+            if collector is not None:
+                for event in telemetry["spans"]:
+                    collector.emit(event)
     if timings is not None:
         merged.workers = workers
         merged.wall_seconds = time.perf_counter() - start

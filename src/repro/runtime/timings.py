@@ -1,4 +1,4 @@
-"""Per-stage wall-time accounting for experiment sweeps.
+"""Per-stage time accounting for experiment sweeps.
 
 The pose-recovery sweep decomposes into six stages (data generation,
 detection, BV extraction, stage-1 match, stage-2 align, baseline);
@@ -7,6 +7,18 @@ where the time went.  Accumulators merge, which is how the parallel
 engine folds per-worker measurements into one report — merged stage
 seconds are therefore CPU-seconds, not wall-clock, whenever more than
 one worker contributed (``wall_seconds`` keeps the elapsed view).
+
+Since the observability layer landed, ``SweepTimings`` is a thin view
+over a :class:`repro.obs.MetricsRegistry` rather than a parallel
+bookkeeping system: every ``stage()`` block observes the registry
+histogram ``stage/<name>`` (count + total seconds), the counters the
+pipeline and engine record during the sweep travel in the same
+registry, and the report formats the histogram totals.  The engine's
+chunk protocol ships one registry snapshot per chunk; the parent folds
+them in with :meth:`SweepTimings.merge_chunk`, which is *keyed by
+chunk* — re-delivering a chunk's telemetry (a retried chunk, a serial
+fallback after a pool failure) replaces the previous contribution
+instead of adding to it, so no stage's seconds can be double-counted.
 
 A sweep picks up the ambient accumulator installed by
 :func:`collect_timings`, so callers several layers above the sweep (the
@@ -19,8 +31,10 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import time
-from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import active_collector, span as obs_span
 
 __all__ = ["STAGES", "SweepTimings", "stage", "collect_timings",
            "active_timings"]
@@ -35,32 +49,123 @@ STAGES: tuple[str, ...] = (
     "baseline",         # VIPS graph matching
 )
 
+# Registry key prefix for stage-seconds histograms.
+_STAGE_PREFIX = "stage/"
+_PAIRS_KEY = "sweep/pairs"
+_CACHE_HITS_KEY = "cache/hits"
+_CACHE_MISSES_KEY = "cache/misses"
 
-@dataclass
+
+class _StageSecondsView(Mapping):
+    """Live read-only mapping of stage name -> accumulated seconds.
+
+    Backed by the registry's ``stage/*`` histograms; materialize with
+    ``dict(timings.seconds)`` for a stable copy.
+    """
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+
+    def _names(self) -> list[str]:
+        prefix_len = len(_STAGE_PREFIX)
+        return [name[prefix_len:] for name in self._registry.histograms
+                if name.startswith(_STAGE_PREFIX)]
+
+    def __getitem__(self, name: str) -> float:
+        histograms = self._registry.histograms
+        key = _STAGE_PREFIX + name
+        if key not in histograms:
+            raise KeyError(name)
+        return histograms[key].total
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self))
+
+
 class SweepTimings:
-    """Mutable accumulator of per-stage seconds plus sweep counters.
+    """Per-stage seconds plus sweep counters, viewed over a registry.
 
     Attributes:
-        seconds: accumulated seconds per stage name (unknown stage names
-            are accepted, so ad-hoc instrumentation merges cleanly).
+        registry: the backing :class:`~repro.obs.MetricsRegistry`; stage
+            seconds live in its ``stage/<name>`` histograms, pair and
+            cache counts in its counters.  Engine/pipeline telemetry
+            recorded during the sweep rides along in the same registry.
+        seconds: live mapping of accumulated seconds per stage name
+            (unknown stage names are accepted, so ad-hoc
+            instrumentation merges cleanly).
         pairs: evaluated pair count.
         workers: largest worker count that contributed.
         wall_seconds: elapsed time of the sweep call(s).
         cache_hits / cache_misses: stage-1 feature-cache statistics.
     """
 
-    seconds: dict[str, float] = field(
-        default_factory=lambda: {name: 0.0 for name in STAGES})
-    pairs: int = 0
-    workers: int = 1
-    wall_seconds: float = 0.0
-    cache_hits: int = 0
-    cache_misses: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        for name in STAGES:
+            self.registry.histogram(_STAGE_PREFIX + name)
+        self.workers = 1
+        self.wall_seconds = 0.0
+        # Chunk-keyed contributions already folded in; the dedupe ledger
+        # behind merge_chunk.
+        self._chunks: dict[object, dict] = {}
 
     # ------------------------------------------------------------------
-    def add(self, stage_name: str, seconds: float) -> None:
+    # Counter-backed attributes (kept as properties so existing call
+    # sites — `timings.pairs += n`, `timings.cache_hits += 1` — read
+    # and write the registry without knowing it exists).
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> int:
+        return self.registry.counter(_PAIRS_KEY).value
+
+    @pairs.setter
+    def pairs(self, value: int) -> None:
+        self.registry.counter(_PAIRS_KEY).value = int(value)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.registry.counter(_CACHE_HITS_KEY).value
+
+    @cache_hits.setter
+    def cache_hits(self, value: int) -> None:
+        self.registry.counter(_CACHE_HITS_KEY).value = int(value)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.registry.counter(_CACHE_MISSES_KEY).value
+
+    @cache_misses.setter
+    def cache_misses(self, value: int) -> None:
+        self.registry.counter(_CACHE_MISSES_KEY).value = int(value)
+
+    @property
+    def seconds(self) -> _StageSecondsView:
+        return _StageSecondsView(self.registry)
+
+    # ------------------------------------------------------------------
+    def add(self, stage_name: str, seconds: float,
+            count: int = 1) -> None:
         """Accumulate ``seconds`` into one stage bucket."""
-        self.seconds[stage_name] = self.seconds.get(stage_name, 0.0) + seconds
+        histogram = self.registry.histogram(_STAGE_PREFIX + stage_name)
+        histogram.count += count
+        histogram.total += seconds
+        if seconds < histogram.min:
+            histogram.min = seconds
+        if seconds > histogram.max:
+            histogram.max = seconds
+
+    def stage_count(self, stage_name: str) -> int:
+        """How many timed entries a stage accumulated (dedupe-exact)."""
+        return self.registry.histogram(_STAGE_PREFIX + stage_name).count
 
     def merge(self, other: "SweepTimings") -> None:
         """Fold another accumulator (e.g. one worker's) into this one.
@@ -71,13 +176,48 @@ class SweepTimings:
         parallel engine leaves worker ``wall_seconds`` at zero and times
         the pool from the parent instead.
         """
-        for name, seconds in other.seconds.items():
-            self.add(name, seconds)
-        self.pairs += other.pairs
+        self.registry.merge(other.registry)
         self.workers = max(self.workers, other.workers)
         self.wall_seconds += other.wall_seconds
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
+
+    def merge_chunk(self, chunk_key: object, snapshot: Mapping) -> int:
+        """Fold one chunk's registry snapshot in, exactly once per chunk.
+
+        The parallel engine's retry ladder can produce more than one
+        telemetry delivery for the same chunk (pool attempt, retried
+        pool attempt, in-process serial fallback).  Merging is keyed by
+        ``chunk_key``: a later delivery *replaces* the chunk's previous
+        contribution — subtracting it before adding the new one — so
+        stage seconds and pair counts are never double-counted no matter
+        how many rungs of the ladder a chunk visited.
+
+        Returns the number of deliveries this chunk has now made
+        (1 for the common case; >1 means a dedupe actually happened,
+        also counted in the ``timings/chunk_remerges`` counter).
+        """
+        previous = self._chunks.get(chunk_key)
+        if previous is not None:
+            self.registry.merge_snapshot(previous, sign=-1)
+            self.registry.counter("timings/chunk_remerges").inc()
+        stored: dict = {
+            "counters": dict(snapshot.get("counters", {})),
+            "histograms": {name: dict(data) for name, data in
+                           snapshot.get("histograms", {}).items()},
+            "deliveries": (previous["deliveries"] if previous else 0) + 1,
+        }
+        self._chunks[chunk_key] = stored
+        self.registry.merge_snapshot(stored)
+        return int(stored["deliveries"])
+
+    def to_snapshot(self) -> dict:
+        """Picklable form for the engine's chunk protocol."""
+        return self.registry.snapshot()
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping) -> "SweepTimings":
+        timings = cls()
+        timings.registry.merge_snapshot(snapshot)
+        return timings
 
     @property
     def stage_seconds_total(self) -> float:
@@ -92,6 +232,7 @@ class SweepTimings:
     # ------------------------------------------------------------------
     def format(self) -> str:
         """Render the report the CLI prints under ``--timings``."""
+        seconds_by_stage = dict(self.seconds)
         total = self.stage_seconds_total
         lines = [
             f"Sweep timings — {self.pairs} pairs, "
@@ -100,23 +241,23 @@ class SweepTimings:
             + (f", stage total {total:.2f} s (CPU)"
                if self.workers > 1 else ""),
         ]
-        known = [name for name in STAGES if name in self.seconds]
-        extra = [name for name in self.seconds
+        known = [name for name in STAGES if name in seconds_by_stage]
+        extra = [name for name in seconds_by_stage
                  if name not in STAGES and "/" not in name]
-        orphans = [name for name in self.seconds
+        orphans = [name for name in seconds_by_stage
                    if "/" in name
-                   and name.split("/", 1)[0] not in self.seconds]
+                   and name.split("/", 1)[0] not in seconds_by_stage]
         for name in known + extra + orphans:
-            seconds = self.seconds[name]
+            seconds = seconds_by_stage[name]
             share = seconds / total if total > 0 else 0.0
             bar = "#" * int(round(share * 30))
             lines.append(f"  {name:>12}  {seconds:8.2f} s  "
                          f"{share * 100:5.1f} %  {bar}")
             # Detail rows: per-kernel slices recorded as "<stage>/<part>".
-            for detail in self.seconds:
+            for detail in seconds_by_stage:
                 if not detail.startswith(name + "/"):
                     continue
-                part_seconds = self.seconds[detail]
+                part_seconds = seconds_by_stage[detail]
                 part_share = part_seconds / seconds if seconds > 0 else 0.0
                 lines.append(
                     f"    {'· ' + detail.split('/', 1)[1]:>12}  "
@@ -132,7 +273,22 @@ class SweepTimings:
 
 @contextlib.contextmanager
 def stage(timings: SweepTimings | None, stage_name: str) -> Iterator[None]:
-    """Time a block into ``timings`` (no-op when ``timings`` is None)."""
+    """Time a block into ``timings`` (no-op when ``timings`` is None).
+
+    When a trace collector is active (``--trace``), the block is also
+    recorded as a span named after the stage — same clocks, one extra
+    event; when neither a collector nor ``timings`` is present the body
+    runs untimed, which is the overhead-neutral disabled mode.
+    """
+    if active_collector() is not None:
+        with obs_span(stage_name):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                if timings is not None:
+                    timings.add(stage_name, time.perf_counter() - start)
+        return
     if timings is None:
         yield
         return

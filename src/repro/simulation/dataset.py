@@ -20,6 +20,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.obs.metrics import counter
+from repro.obs.spans import span
 from repro.simulation.scenario import FramePair, ScenarioConfig, make_frame_pair
 from repro.simulation.world import ScenarioKind, WorldConfig
 
@@ -171,19 +173,25 @@ class V2VDatasetSim:
     def _generate(self, index: int) -> FrameRecord:
         cfg = self.config
         pair = None
-        for attempt in range(cfg.max_attempts):
-            # The final attempt's pair is kept even when it fails the
-            # selection rule, so only earlier attempts may be screened.
-            screen = (cfg.min_common_vehicles
-                      if attempt < cfg.max_attempts - 1 else 0)
-            pair = self._attempt(index, attempt, screen)
-            if pair is None:
-                continue
-            if (cfg.min_common_vehicles == 0
-                    or pair.num_common_vehicles >= cfg.min_common_vehicles):
-                return FrameRecord(index, pair, True)
-        assert pair is not None
-        return FrameRecord(index, pair, False)
+        with span("sim/generate_pair", index=index):
+            for attempt in range(cfg.max_attempts):
+                # The final attempt's pair is kept even when it fails the
+                # selection rule, so only earlier attempts may be screened.
+                screen = (cfg.min_common_vehicles
+                          if attempt < cfg.max_attempts - 1 else 0)
+                counter("sim/pair_attempts").inc()
+                pair = self._attempt(index, attempt, screen)
+                if pair is None:
+                    counter("sim/pairs_screened").inc()
+                    continue
+                if (cfg.min_common_vehicles == 0
+                        or pair.num_common_vehicles
+                        >= cfg.min_common_vehicles):
+                    counter("sim/pairs_generated").inc()
+                    return FrameRecord(index, pair, True)
+            assert pair is not None
+            counter("sim/pairs_unselected").inc()
+            return FrameRecord(index, pair, False)
 
     # ------------------------------------------------------------------
     def selection_rate(self, sample: int | None = None) -> float:
