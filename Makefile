@@ -34,9 +34,11 @@ bench-report:
 # committed baselines (timing drift warns; metric drift fails).
 bench-check:
 	$(PYTHON) -m pytest benchmarks/test_stage1_kernels.py \
-		benchmarks/test_sim_kernels.py -x -q -s
+		benchmarks/test_sim_kernels.py benchmarks/test_comms_bench.py \
+		-x -q -s
 	$(PYTHON) tools/check_bench.py benchmarks/results/BENCH_stage1.json \
-		benchmarks/results/BENCH_pipeline.json
+		benchmarks/results/BENCH_pipeline.json \
+		benchmarks/results/BENCH_comms.json
 
 # Accept the current BENCH_*.json outputs as the new baselines.  Run
 # the benchmarks first (make bench-check), eyeball the drift, then
@@ -45,6 +47,7 @@ bench-baseline:
 	mkdir -p benchmarks/results/baselines
 	cp benchmarks/results/BENCH_stage1.json \
 		benchmarks/results/BENCH_pipeline.json \
+		benchmarks/results/BENCH_comms.json \
 		benchmarks/results/baselines/
 
 examples:

@@ -1,0 +1,67 @@
+"""Bench: the tier x impairment grid and its Pareto acceptance checks.
+
+Writes ``benchmarks/results/BENCH_comms.json`` for the
+``tools/check_bench.py`` regression gate.  Everything except ``grid_s``
+is seeded and deterministic: per-cell success counts, bytes sent, tier
+usage, and the three acceptance facts —
+
+* encoded bytes per message strictly decrease down the tier ladder,
+* the (full-scan, clean) cell is byte-identical to a clean direct
+  sweep (``control_identical``),
+* the adaptive policy dominates at least one fixed tier on the
+  impairment grid (success rate >= at <= bytes, one strict).
+"""
+
+import json
+import time
+
+from repro.experiments.bandwidth import run_comms_grid
+from repro.experiments.registry import get_spec
+
+GRID_PAIRS = 10
+GRID_SEED = 2024
+
+
+def test_comms_grid(benchmark, results_dir, save_artifact):
+    start = time.perf_counter()
+    result = benchmark.pedantic(run_comms_grid,
+                                kwargs=dict(num_pairs=GRID_PAIRS,
+                                            seed=GRID_SEED),
+                                rounds=1, iterations=1)
+    grid_seconds = time.perf_counter() - start
+    save_artifact("comms_grid", get_spec("comms-grid").format(result))
+
+    sizes = list(result.tier_mean_bytes.values())
+    strictly_decreasing = all(a > b for a, b in zip(sizes, sizes[1:]))
+    report = {
+        "schema_version": 1,
+        "num_pairs": result.num_pairs,
+        "seed": result.seed,
+        "tier_mean_bytes": {tier: int(round(size))
+                            for tier, size in
+                            result.tier_mean_bytes.items()},
+        "cells": {
+            f"{cell.policy}@{cell.impairment}": {
+                "successes": cell.successes,
+                "delivered": cell.delivered,
+                "decode_errors": cell.decode_errors,
+                "total_sent_bytes": cell.total_sent_bytes,
+                "tier_messages": cell.tier_messages,
+            }
+            for cell in result.cells
+        },
+        "checks": {
+            "strictly_decreasing_bytes": strictly_decreasing,
+            "control_identical": result.control_identical,
+            "adaptive_dominates": sorted(result.dominated),
+        },
+        "grid_s": round(grid_seconds, 3),
+    }
+    (results_dir / "BENCH_comms.json").write_text(
+        json.dumps(report, indent=2) + "\n")
+
+    benchmark.extra_info["dominated"] = len(result.dominated)
+    # The acceptance criteria are hard assertions, not just recorded.
+    assert strictly_decreasing, result.tier_mean_bytes
+    assert result.control_identical
+    assert result.dominated, "adaptive dominates no fixed tier"

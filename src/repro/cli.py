@@ -30,8 +30,6 @@ import io
 import pathlib
 import pstats
 import sys
-import warnings
-from typing import Callable
 
 from repro.experiments.registry import all_specs, get_spec
 from repro.obs.export import trace_session
@@ -39,22 +37,6 @@ from repro.obs.metrics import active_registry
 from repro.runtime.timings import collect_timings
 
 __all__ = ["main"]
-
-
-def __getattr__(name: str):
-    # Pre-registry callers read a hand-maintained EXPERIMENTS table of
-    # (runner, formatter, description) tuples from this module; serve an
-    # equivalent view of the registry until they migrate.
-    if name == "EXPERIMENTS":
-        warnings.warn(
-            "repro.cli.EXPERIMENTS is deprecated; use "
-            "repro.experiments.registry (get_spec / all_specs) instead",
-            DeprecationWarning, stacklevel=2)
-        table: dict[str, tuple[Callable, Callable, str]] = {
-            spec.name: (spec.runner, spec.formatter, spec.description)
-            for spec in all_specs()}
-        return table
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,7 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "JSON-lines file (schema in docs/api.md)")
 
     for spec in all_specs():
-        sub.add_parser(spec.name, parents=[common], help=spec.description)
+        spec_parser = sub.add_parser(spec.name, parents=[common],
+                                     help=spec.description)
+        if spec.cli_options is not None:
+            spec.cli_options(spec_parser)
     sub.add_parser("all", parents=[common],
                    help="run every experiment in sequence")
     return parser
@@ -103,15 +88,17 @@ def _profile_report(profiler: cProfile.Profile, top: int) -> str:
 def _run_one(name: str, pairs: int, seed: int, workers: int,
              timings: bool, output: pathlib.Path | None,
              profile: int | None = None,
-             trace: pathlib.Path | None = None) -> str:
+             trace: pathlib.Path | None = None,
+             extra: dict | None = None) -> str:
     spec = get_spec(name)
+    extra = extra or {}
     profiler = cProfile.Profile() if profile is not None else None
 
     def _invoke():
         if profiler is not None:
             profiler.enable()
         try:
-            return spec.run(pairs, seed, workers=workers)
+            return spec.run(pairs, seed, workers=workers, **extra)
         finally:
             if profiler is not None:
                 profiler.disable()
@@ -159,8 +146,14 @@ def main(argv: list[str] | None = None) -> int:
             # One trace session per experiment: suffix the stem so "all"
             # does not overwrite earlier experiments' traces.
             trace = trace.with_name(f"{trace.stem}-{name}{trace.suffix}")
+        # Experiment-specific flags only exist on that experiment's own
+        # subcommand namespace ("all" runs everything with defaults).
+        extra = {dest: getattr(args, dest)
+                 for dest in get_spec(name).cli_option_dests
+                 if getattr(args, dest, None) is not None}
         print(_run_one(name, args.pairs, args.seed, args.workers,
-                       args.timings, args.output, args.profile, trace))
+                       args.timings, args.output, args.profile, trace,
+                       extra))
         print()
     return 0
 

@@ -1,16 +1,25 @@
-"""V2V message serialization and the lossy-channel fault model.
+"""V2V message serialization, tiered compression, and the fault model.
 
 The paper's bandwidth argument (Sec. III) rests on the BV image being
 "highly compressed" relative to raw lidar.  This package makes the claim
-concrete: it defines the actual wire format a BB-Align deployment would
-transmit — a quantized, zero-run-length-encoded BV image plus fixed-point
-boxes, each framed with a CRC32 integrity field — and measures real
-encoded sizes.  :mod:`repro.comms.channel` adds the matching fault model:
-a seeded :class:`LossyChannel` that drops, truncates, corrupts and delays
-encoded messages, feeding the robustness sweep and the degradation ladder
-in :mod:`repro.core.pipeline`.
+concrete — and measurable — along three axes:
+
+* **Wire formats** — :mod:`repro.comms.codec` defines the quantized,
+  zero-run-length-encoded BV image plus fixed-point boxes, each framed
+  with a CRC32 integrity field; :mod:`repro.comms.tiers` generalizes it
+  to four fidelity rungs (full scan > BV image > keypoints > boxes-only)
+  behind one :class:`Tier` enum and codec registry.
+* **Accounting** — :mod:`repro.comms.accounting` counts encoded vs dense
+  payload bytes per tier, into the ambient metrics registry (so
+  ``--timings`` reports KB per pair) and into standalone
+  :class:`CommLedger` objects for the bandwidth grid.
+* **Faults and adaptation** — :mod:`repro.comms.channel` is the seeded
+  :class:`LossyChannel` that drops, truncates, corrupts and delays
+  messages; :mod:`repro.comms.policy` is the hysteresis controller that
+  steps the tier ladder in response.
 """
 
+from repro.comms.accounting import CommLedger, record_received, record_sent
 from repro.comms.channel import Delivery, LossyChannel
 from repro.comms.codec import (
     CodecError,
@@ -20,14 +29,38 @@ from repro.comms.codec import (
     encode_boxes,
 )
 from repro.comms.message import V2VMessage
+from repro.comms.policy import TIER_LADDER, AdaptiveTierPolicy
+from repro.comms.tiers import (
+    KeypointPayload,
+    Tier,
+    TierCodecConfig,
+    TieredMessage,
+    build_message,
+    decode_message,
+    encode_message,
+    sniff_tier,
+)
 
 __all__ = [
+    "AdaptiveTierPolicy",
     "CodecError",
+    "CommLedger",
     "Delivery",
+    "KeypointPayload",
     "LossyChannel",
+    "TIER_LADDER",
+    "Tier",
+    "TierCodecConfig",
+    "TieredMessage",
     "V2VMessage",
+    "build_message",
     "decode_boxes",
     "decode_bv_image",
+    "decode_message",
     "encode_boxes",
     "encode_bv_image",
+    "encode_message",
+    "record_received",
+    "record_sent",
+    "sniff_tier",
 ]

@@ -1,0 +1,87 @@
+"""Adaptive tier selection driven by observed delivery outcomes.
+
+The degradation ladder (PR 5) reacts *after* a message is lost; this
+policy reacts *before* the next one is sent.  The intuition follows the
+channel model: corruption is per-byte, so under a fixed corruption rate
+the survival probability of a message is ``(1 - p) ** bytes`` — a
+megabyte full scan is hopeless where a kilobyte keypoint message sails
+through.  A sender that steps down the tier ladder when deliveries fail
+(and back up when the link looks clean) therefore buys success rate at
+a *lower* byte cost than any heavy fixed tier.
+
+The controller is deliberately tiny and deterministic: consecutive-
+failure / consecutive-success counters with hysteresis, the same shape
+as the pipeline's degradation ladder.  It observes, it never blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comms.channel import Delivery
+from repro.comms.tiers import Tier
+from repro.obs.metrics import counter
+
+__all__ = ["TIER_LADDER", "AdaptiveTierPolicy"]
+
+#: Fidelity rungs, heaviest first — the order the policy steps through.
+TIER_LADDER: tuple[Tier, ...] = (Tier.FULL_SCAN, Tier.BV_IMAGE,
+                                 Tier.KEYPOINTS, Tier.BOXES_ONLY)
+
+
+@dataclass
+class AdaptiveTierPolicy:
+    """Hysteresis controller over :data:`TIER_LADDER`.
+
+    Attributes:
+        start: tier for the first message.
+        step_down_after: consecutive failed deliveries before dropping
+            one rung.
+        step_up_after: consecutive successful deliveries before climbing
+            one rung back toward full fidelity.
+    """
+
+    start: Tier = Tier.FULL_SCAN
+    step_down_after: int = 2
+    step_up_after: int = 4
+    _index: int = field(init=False)
+    _failures: int = field(init=False, default=0)
+    _successes: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._index = TIER_LADDER.index(self.start)
+        if self.step_down_after < 1 or self.step_up_after < 1:
+            raise ValueError("hysteresis thresholds must be >= 1")
+
+    @property
+    def tier(self) -> Tier:
+        """The tier the next message should be sent at."""
+        return TIER_LADDER[self._index]
+
+    # ------------------------------------------------------------------
+    def observe(self, delivery: Delivery, decoded: bool = True) -> Tier:
+        """Record one delivery outcome; returns the next tier to use.
+
+        A message counts as *usable* only if the channel delivered it
+        un-dropped and the receiver decoded it (``decoded`` is the
+        receiver-side verdict; truncated/corrupted payloads fail CRC).
+        Staleness is not punished — a late message still proves the
+        link carries this many bytes.
+        """
+        usable = delivery.delivered and decoded
+        if usable:
+            self._successes += 1
+            self._failures = 0
+            if (self._successes >= self.step_up_after and self._index > 0):
+                self._index -= 1
+                self._successes = 0
+                counter("comms/policy/step_up").inc()
+        else:
+            self._failures += 1
+            self._successes = 0
+            if (self._failures >= self.step_down_after
+                    and self._index < len(TIER_LADDER) - 1):
+                self._index += 1
+                self._failures = 0
+                counter("comms/policy/step_down").inc()
+        return self.tier

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bev.log_gabor import LogGaborConfig
+from repro.comms.tiers import TierCodecConfig
 from repro.features.descriptors import BvftConfig
 from repro.features.fast import FastConfig
 
@@ -133,6 +134,10 @@ class BBAlignConfig:
     bv_ransac: BVMatchRansacConfig = field(default_factory=BVMatchRansacConfig)
     box_align: BoxAlignConfig = field(default_factory=BoxAlignConfig)
     success: SuccessCriteria = field(default_factory=SuccessCriteria)
+    # Sender-side encoding knobs for tiered messages.  Not part of the
+    # extraction fingerprint: changing how features are *transmitted*
+    # never invalidates cached features.
+    comms: TierCodecConfig = field(default_factory=TierCodecConfig)
     enable_box_alignment: bool = True
     keypoint_detector: str = "fast"
     random_seed: int | None = 0

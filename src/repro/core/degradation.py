@@ -10,13 +10,18 @@ the returned transform recorded.  The ladder, from best to worst:
    rejected by its own confidence guard).
 2. **stage1-only** — stage 2 failed outright (e.g. raised); the stage-1
    estimate is returned unrefined.
-3. **temporal** — the current frame produced nothing usable; the last
+3. **boxes-only** — the message tier carried no BV evidence (see
+   :class:`repro.comms.tiers.Tier`), so stage 1 was skipped *by
+   design* and stage-2 box alignment ran from a pose prior.  Unlike
+   the rungs below, this one can still succeed — under the weaker,
+   box-consensus-only criterion.
+4. **temporal** — the current frame produced nothing usable; the last
    successfully recovered pose is returned (see
    :mod:`repro.core.temporal` for the full odometry-predicted filter).
-4. **identity** — nothing usable and no history; a flagged identity
+5. **identity** — nothing usable and no history; a flagged identity
    transform, which downstream consumers must treat as "no pose".
 
-``success`` is always ``False`` from rung 3 down, and ``failure_reason``
+``success`` is always ``False`` from rung 4 down, and ``failure_reason``
 is always populated whenever ``success`` is ``False``.
 """
 
@@ -52,6 +57,9 @@ class FailureReason(str, enum.Enum):
     NO_KEYPOINTS = "no-keypoints"
     #: Stage-1 RANSAC found no consensus model.
     STAGE1_NO_CONSENSUS = "stage1-no-consensus"
+    #: A boxes-only message left stage-2 alignment as the only
+    #: evidence, and it found no box consensus from the pose prior.
+    BOXES_ONLY_NO_CONSENSUS = "boxes-only-no-consensus"
     #: Both stages ran but the inlier counts failed the paper's
     #: success criterion.
     BELOW_SUCCESS_THRESHOLD = "below-success-threshold"
@@ -67,6 +75,7 @@ class DegradationLevel(str, enum.Enum):
 
     FULL = "full"
     STAGE1_ONLY = "stage1-only"
+    BOXES_ONLY = "boxes-only"
     TEMPORAL = "temporal"
     IDENTITY = "identity"
 
@@ -104,6 +113,9 @@ class StageDiagnostics:
             the V2V payload failed to decode.
         stage1_error / stage2_error: captured exception reprs when a
             stage raised instead of returning.
+        tier: the :class:`repro.comms.tiers.Tier` value the decoded
+            message carried (``None`` for direct cloud/feature calls
+            and legacy ``V2V1`` frames).
     """
 
     nonfinite_ego_points: int = 0
@@ -113,3 +125,4 @@ class StageDiagnostics:
     decode_error: str | None = None
     stage1_error: str | None = None
     stage2_error: str | None = None
+    tier: str | None = None

@@ -110,7 +110,7 @@ class MultiVehicleAligner:
         edges: list[PairwiseEdge] = []
         for i in range(k):
             for j in range(i + 1, k):
-                result = self.aligner.recover_from_features(
+                result = self.aligner.recover(
                     features[i], features[j],
                     boxes_per_vehicle[i], boxes_per_vehicle[j],
                     rng=np.random.default_rng(rng.integers(0, 2 ** 31)))

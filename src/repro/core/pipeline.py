@@ -12,13 +12,22 @@
 The class is plug-and-play in the paper's sense: it takes two point clouds
 and two detection lists and needs no prior pose and no training.
 
+**One entry point.**  :meth:`BBAlign.recover` dispatches on its inputs:
+raw clouds, precomputed :class:`BVFeatures`, wire payloads (legacy
+``V2V1`` frames or any :class:`repro.comms.tiers.Tier`), deliveries, and
+decoded messages all go through the same two-stage core.  The historical
+``recover_from_features`` / ``recover_from_message`` names remain as
+deprecated wrappers.
+
 **Graceful degradation.**  Field inputs are hostile — dropped packets,
-corrupt buffers, NaN-polluted scans, featureless scenes — so the recovery
-entry points (:meth:`BBAlign.recover`, :meth:`BBAlign.recover_from_features`,
-:meth:`BBAlign.recover_from_message`) never raise on bad *data*: every code
-path returns a :class:`PoseRecoveryResult` whose ``failure_reason`` names
+corrupt buffers, NaN-polluted scans, featureless scenes — so
+:meth:`BBAlign.recover` never raises on bad *data*: every code path
+returns a :class:`PoseRecoveryResult` whose ``failure_reason`` names
 what went wrong and whose ``degradation`` records which fallback produced
 the returned transform (see :mod:`repro.core.degradation` for the ladder).
+The ladder also adapts to what a message *tier* carries: boxes-only
+messages skip stage 1 by design and run box alignment from the pose
+prior.
 The aligner remembers the last successfully recovered pose, so a transient
 failure coasts on history (the ``temporal`` rung) instead of snapping to
 identity; :class:`repro.core.temporal.PoseTracker` remains the full
@@ -28,11 +37,13 @@ odometry-aware filter for streamed deployments.
 from __future__ import annotations
 
 import contextlib
+import warnings
 from dataclasses import replace
 from typing import Callable, ContextManager
 
 import numpy as np
 
+from repro.bev.projection import BVImage
 from repro.boxes.box import Box2D, Box3D
 from repro.core.box_alignment import BoxAligner, BoxAlignment
 from repro.core.bv_matching import BVFeatures, BVMatch, BVMatcher
@@ -45,6 +56,7 @@ from repro.core.degradation import (
 )
 from repro.core.result import PoseRecoveryResult
 from repro.features.matching import MatchResult
+from repro.obs.metrics import histogram
 from repro.geometry.ransac import RansacResult
 from repro.geometry.se2 import SE2
 from repro.geometry.se3 import SE3
@@ -87,6 +99,9 @@ class BBAlign:
         self.config = config or BBAlignConfig()
         self.bv_matcher = BVMatcher(self.config)
         self.box_aligner = BoxAligner(self.config.box_align)
+        # Matchers for pooled descriptor geometries (keypoints-tier
+        # messages), built lazily and keyed by pooled grid size.
+        self._pooled_matchers: dict[int, BVMatcher] = {}
         # Fallback memory: the last transform that met the success
         # criterion.  Only the degraded code paths *read* it, so the
         # numeric output of the healthy path is independent of call
@@ -161,54 +176,101 @@ class BBAlign:
         """
         return self.bv_matcher.extract_from_cloud(cloud, timer=timer)
 
-    def recover(self, ego_cloud: PointCloud, other_cloud: PointCloud,
-                ego_boxes, other_boxes,
+    def recover(self, ego, other=None, ego_boxes=None, other_boxes=None,
                 rng: np.random.Generator | int | None = None,
-                timer: StageTimer | None = None) -> PoseRecoveryResult:
+                timer: StageTimer | None = None, *,
+                stale: bool = False) -> PoseRecoveryResult:
         """Recover the relative pose from the other car to the ego car.
 
+        One entry point, three input shapes, dispatched on ``other``:
+
+        * **clouds / features** — ``other`` is a :class:`PointCloud` or
+          precomputed :class:`BVFeatures` (and so is ``ego``, in any
+          combination); ``other_boxes`` carries the other car's
+          detections.  Extraction runs only for the cloud inputs.
+        * **wire payload** — ``other`` is the raw received ``bytes`` (a
+          legacy ``V2V1`` frame or any :class:`repro.comms.tiers.Tier`
+          message), a :class:`repro.comms.Delivery`, or ``None`` for a
+          dropped frame.  Boxes travel inside the message, so
+          ``other_boxes`` must be omitted.
+        * **decoded message** — ``other`` is an already-decoded
+          :class:`~repro.comms.V2VMessage` or
+          :class:`~repro.comms.tiers.TieredMessage`.
+
+        The stage ladder adapts to what the tier carries: a boxes-only
+        message skips BV matching entirely and runs stage-2 alignment
+        from the pose prior (``DegradationLevel.BOXES_ONLY``); a
+        keypoints message matches transmitted descriptors against an
+        identically pooled copy of the ego descriptors.
+
         Args:
-            ego_cloud: ego car's lidar scan in its own frame.
-            other_cloud: the received scan, in the *other car's* frame.
+            ego: ego car's lidar scan, or its precomputed features.
+            other: see above.
             ego_boxes: ego detections (Box3D or Box2D) in the ego frame.
-            other_boxes: received detections in the other car's frame.
+            other_boxes: received detections in the other car's frame
+                (cloud/feature inputs only).
             rng: randomness for both RANSAC stages (defaults to the
                 config seed, making runs reproducible).
             timer: optional stage-timer factory (see
                 :func:`repro.runtime.timings.stage`) recording
                 ``bv_extract`` / ``stage1_match`` / ``stage2_align``.
+            stale: the input arrived too late to trust for this frame
+                (ORed with :attr:`repro.comms.Delivery.delay_frames`).
 
         Returns:
             A :class:`PoseRecoveryResult`; ``result.transform`` maps
             other-frame coordinates into the ego frame.  Degenerate
-            inputs produce a flagged failure (see ``failure_reason``),
-            never an exception.
+            *data* produces a flagged failure (see ``failure_reason``),
+            never an exception; unsupported input *types* still raise
+            :class:`TypeError`.
         """
-        try:
-            with (timer or _no_timing)("bv_extract"):
-                ego_features = self.extract_features(ego_cloud, timer=timer)
-                other_features = self.extract_features(other_cloud,
-                                                       timer=timer)
-        except Exception as error:
-            return self._degraded_result(
-                FailureReason.EXTRACTION_ERROR,
-                StageDiagnostics(stage1_error=repr(error)))
-        return self.recover_from_features(ego_features, other_features,
-                                          ego_boxes, other_boxes, rng=rng,
-                                          timer=timer)
+        if isinstance(other, (PointCloud, BVFeatures)):
+            return self._recover_sensed(ego, other, ego_boxes, other_boxes,
+                                        rng, timer, stale)
+        return self._recover_payload(ego, other, ego_boxes, other_boxes,
+                                     rng, timer, stale)
 
-    def recover_from_features(self, ego_features: BVFeatures,
-                              other_features: BVFeatures,
-                              ego_boxes, other_boxes,
-                              rng: np.random.Generator | int | None = None,
-                              timer: StageTimer | None = None,
-                              ) -> PoseRecoveryResult:
-        """Like :meth:`recover` but with precomputed stage-1 features.
+    # ------------------------------------------------------------------
+    def _recover_sensed(self, ego, other, ego_boxes, other_boxes, rng,
+                        timer, stale) -> PoseRecoveryResult:
+        """Cloud/feature inputs: extract whatever is still raw, match."""
+        for name, value in (("ego", ego), ("other", other)):
+            if not isinstance(value, (PointCloud, BVFeatures)):
+                raise TypeError(f"{name} must be a PointCloud or "
+                                f"BVFeatures, got {type(value)!r}")
+        if stale:
+            return self._degraded_result(FailureReason.MESSAGE_STALE,
+                                         StageDiagnostics())
+        if isinstance(ego, PointCloud) or isinstance(other, PointCloud):
+            try:
+                with (timer or _no_timing)("bv_extract"):
+                    if isinstance(ego, PointCloud):
+                        ego = self.extract_features(ego, timer=timer)
+                    if isinstance(other, PointCloud):
+                        other = self.extract_features(other, timer=timer)
+            except Exception as error:
+                return self._degraded_result(
+                    FailureReason.EXTRACTION_ERROR,
+                    StageDiagnostics(stage1_error=repr(error)))
+        return self._recover_features(ego, other, ego_boxes, other_boxes,
+                                      rng=rng, timer=timer)
 
-        Useful when sweeping many "other" frames against one ego frame,
-        for ablations that reuse extraction, or with the runtime layer's
-        feature cache (:mod:`repro.runtime.cache`).
+    def _recover_features(self, ego_features: BVFeatures,
+                          other_features: BVFeatures,
+                          ego_boxes, other_boxes,
+                          rng: np.random.Generator | int | None = None,
+                          timer: StageTimer | None = None, *,
+                          matcher: BVMatcher | None = None,
+                          message_bytes: int | None = None,
+                          tier: str | None = None) -> PoseRecoveryResult:
+        """The two-stage core shared by every input shape.
+
+        ``matcher`` overrides stage-1 matching (the keypoints tier uses
+        a pooled-geometry matcher); ``message_bytes`` overrides the
+        dense-message estimate with actual wire bytes; ``tier`` labels
+        the diagnostics.
         """
+        matcher = matcher or self.bv_matcher
         timer = timer or _no_timing
         rng = self._rng(rng)
         ego_bev = self._to_bev_boxes(ego_boxes)
@@ -219,14 +281,16 @@ class BBAlign:
             nonfinite_other_points=other_features.bv_image.num_nonfinite,
             ego_keypoints=len(ego_features.keypoints.xy),
             other_keypoints=len(other_features.keypoints.xy),
+            tier=tier,
         )
-        message_bytes = (other_features.bv_image.message_size_bytes()
-                         + _BYTES_PER_BOX * len(other_bev))
+        if message_bytes is None:
+            message_bytes = (other_features.bv_image.message_size_bytes()
+                             + _BYTES_PER_BOX * len(other_bev))
 
         try:
             with timer("stage1_match"):
-                stage1 = self.bv_matcher.match(other_features, ego_features,
-                                               rng=rng, timer=timer)
+                stage1 = matcher.match(other_features, ego_features,
+                                       rng=rng, timer=timer)
         except Exception as error:
             return self._degraded_result(
                 FailureReason.STAGE1_ERROR,
@@ -296,6 +360,260 @@ class BBAlign:
             diagnostics=diagnostics,
         )
 
+    def _recover_payload(self, ego, payload, ego_boxes, other_boxes, rng,
+                         timer, stale) -> PoseRecoveryResult:
+        """Wire-payload inputs: unwrap, decode, dispatch on the tier.
+
+        The receiver-side path a deployment actually has: raw bytes off
+        the V2V link (or ``None`` for a drop).  Decode failures
+        (:class:`repro.comms.CodecError`) and drops walk the fallback
+        ladder instead of raising.
+        """
+        # Imported here: repro.comms depends on repro.bev, and keeping
+        # the import local avoids a package-level core <-> comms cycle.
+        from repro.comms import accounting
+        from repro.comms.channel import Delivery
+        from repro.comms.codec import CodecError
+        from repro.comms.message import V2VMessage
+        from repro.comms.tiers import Tier, TieredMessage, decode_message
+
+        if other_boxes is not None:
+            raise TypeError("other_boxes travel inside the message; pass "
+                            "them only with cloud/feature inputs")
+        if not isinstance(ego, (PointCloud, BVFeatures)):
+            raise TypeError(f"ego must be a PointCloud or BVFeatures, "
+                            f"got {type(ego)!r}")
+        if isinstance(payload, Delivery):
+            stale = stale or payload.delay_frames > 0
+            payload = payload.payload
+        if payload is None:
+            return self._degraded_result(FailureReason.MESSAGE_DROPPED,
+                                         StageDiagnostics())
+
+        timer = timer or _no_timing
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            payload = bytes(payload)
+            num_bytes = len(payload)
+            if stale:
+                return self._degraded_result(FailureReason.MESSAGE_STALE,
+                                             StageDiagnostics(),
+                                             message_bytes=num_bytes)
+            try:
+                if payload[:4] == b"V2V1":
+                    message = V2VMessage.from_bytes(payload)
+                else:
+                    message = decode_message(payload)
+            except CodecError as error:
+                accounting.record_received(None, num_bytes, ok=False)
+                return self._degraded_result(
+                    FailureReason.MESSAGE_UNDECODABLE,
+                    StageDiagnostics(decode_error=str(error)),
+                    message_bytes=num_bytes)
+            tier_name = (message.tier.value
+                         if isinstance(message, TieredMessage) else "v2v1")
+            accounting.record_received(tier_name, num_bytes, ok=True)
+            histogram("comms/message_bytes").observe(float(num_bytes))
+        elif isinstance(payload, (V2VMessage, TieredMessage)):
+            message = payload
+            num_bytes = message.size_bytes
+            if stale:
+                return self._degraded_result(FailureReason.MESSAGE_STALE,
+                                             StageDiagnostics(),
+                                             message_bytes=num_bytes)
+        else:
+            raise TypeError(
+                f"other must be a PointCloud, BVFeatures, bytes payload, "
+                f"Delivery, V2VMessage, TieredMessage or None, got "
+                f"{type(payload)!r}")
+
+        if isinstance(message, TieredMessage) \
+                and message.tier is Tier.BOXES_ONLY:
+            return self._recover_boxes_only(message, ego_boxes, rng, timer,
+                                            num_bytes)
+
+        try:
+            with timer("bv_extract"):
+                if isinstance(ego, PointCloud):
+                    ego_features = self.extract_features(ego, timer=timer)
+                else:
+                    ego_features = ego
+                if isinstance(message, V2VMessage) \
+                        or message.tier is Tier.BV_IMAGE:
+                    other_features = self.bv_matcher.extract(
+                        message.bv_image, timer=timer)
+                elif message.tier is Tier.FULL_SCAN:
+                    other_features = self.extract_features(message.cloud,
+                                                           timer=timer)
+                else:
+                    other_features = None  # keypoints: no image to extract
+        except Exception as error:
+            return self._degraded_result(
+                FailureReason.EXTRACTION_ERROR,
+                StageDiagnostics(stage1_error=repr(error)),
+                message_bytes=num_bytes)
+
+        if other_features is None:
+            return self._recover_keypoints(ego_features, message, ego_boxes,
+                                           rng, timer, num_bytes)
+        if isinstance(message, V2VMessage):
+            # Legacy frames keep the historical dense-size estimate so
+            # pre-tier sweeps stay byte-for-byte reproducible.
+            return self._recover_features(ego_features, other_features,
+                                          ego_boxes, message.boxes,
+                                          rng=rng, timer=timer)
+        return self._recover_features(ego_features, other_features,
+                                      ego_boxes, message.boxes,
+                                      rng=rng, timer=timer,
+                                      message_bytes=num_bytes,
+                                      tier=message.tier.value)
+
+    def _recover_keypoints(self, ego_features: BVFeatures, message,
+                           ego_boxes, rng, timer,
+                           num_bytes: int) -> PoseRecoveryResult:
+        """Keypoints tier: match transmitted descriptors directly.
+
+        The message carries no image, so the ego side is brought to the
+        sender's pooled descriptor geometry (same pooling, same
+        normalization) and a pooled-geometry matcher runs the usual
+        stage 1 — π-flip disambiguation included, since the transmitted
+        coordinates are integral pixels.
+        """
+        from repro.bev.mim import MIMResult
+        from repro.comms.tiers import Tier, pool_descriptors
+        from repro.features.descriptors import DescriptorSet
+        from repro.features.fast import Keypoints
+
+        kp = message.keypoints
+        tier = Tier.KEYPOINTS.value
+        base_orient = ego_features.mim.num_orientations
+        ego_desc = ego_features.descriptors
+        try:
+            if len(ego_desc):
+                dim = ego_desc.descriptors.shape[1]
+                cells = dim // base_orient
+                base_grid = int(round(np.sqrt(cells)))
+                pooled = pool_descriptors(
+                    ego_desc.descriptors, base_grid, base_orient,
+                    base_grid // kp.grid_size,
+                    base_orient // kp.num_orientations)
+            else:
+                pooled = np.empty((0, kp.grid_size ** 2
+                                   * kp.num_orientations))
+        except (ValueError, ZeroDivisionError) as error:
+            return self._degraded_result(
+                FailureReason.EXTRACTION_ERROR,
+                StageDiagnostics(stage1_error=repr(error), tier=tier),
+                message_bytes=num_bytes)
+        ego_pooled = BVFeatures(
+            ego_features.bv_image, ego_features.mim,
+            ego_features.keypoints,
+            DescriptorSet(pooled, ego_desc.keypoint_xy,
+                          ego_desc.keypoint_indices,
+                          ego_desc.dominant_bins))
+
+        # The other side never rendered an image here; zero placeholders
+        # carry the geometry.  Matching only permutes these arrays (for
+        # the flip hypothesis) — with integral keypoints the flipped
+        # descriptors are derived by cell permutation, never recomputed.
+        size = kp.image_size
+        zeros = np.zeros((size, size))
+        placeholder_bv = BVImage(zeros, kp.cell_size, kp.lidar_range)
+        placeholder_mim = MIMResult(
+            mim=zeros, max_amplitude=zeros, total_amplitude=zeros,
+            num_orientations=kp.num_orientations)
+        xy = kp.xy.astype(float)
+        other_features = BVFeatures(
+            placeholder_bv, placeholder_mim,
+            Keypoints(xy, np.asarray(kp.scores, dtype=float)),
+            DescriptorSet(kp.descriptors, xy,
+                          np.arange(len(xy), dtype=int),
+                          np.zeros(len(xy), dtype=int)))
+        return self._recover_features(ego_pooled, other_features, ego_boxes,
+                                      message.boxes, rng=rng, timer=timer,
+                                      matcher=self._pooled_matcher(
+                                          kp.grid_size),
+                                      message_bytes=num_bytes, tier=tier)
+
+    def _pooled_matcher(self, grid_size: int) -> BVMatcher:
+        """A matcher whose descriptor geometry matches pooled messages.
+
+        Only the extractor's ``grid_size`` matters (it drives the
+        flip-permutation layout); matching thresholds and RANSAC
+        configuration are inherited unchanged.  Cached per grid size.
+        """
+        matcher = self._pooled_matchers.get(grid_size)
+        if matcher is None:
+            config = replace(self.config, descriptor=replace(
+                self.config.descriptor, grid_size=grid_size))
+            matcher = self._pooled_matchers[grid_size] = BVMatcher(config)
+        return matcher
+
+    def _recover_boxes_only(self, message, ego_boxes, rng, timer,
+                            num_bytes: int) -> PoseRecoveryResult:
+        """Boxes-only tier: stage 2 from the pose prior, no stage 1.
+
+        The tier carries no BV evidence, so success here is judged by
+        the *weaker*, box-consensus-only criterion — the result is
+        honest about it via ``DegradationLevel.BOXES_ONLY``.  The prior
+        is the last good pose (identity cold): box alignment can only
+        correct within ``max_correction_meters``, so cold-start pairs
+        with large offsets legitimately fail into the ladder.
+        """
+        from repro.comms.tiers import Tier
+
+        rng = self._rng(rng)
+        ego_bev = self._to_bev_boxes(ego_boxes)
+        other_bev = self._to_bev_boxes(message.boxes)
+        diagnostics = StageDiagnostics(tier=Tier.BOXES_ONLY.value)
+        prior = (self._last_good if self._last_good is not None
+                 else SE2.identity())
+        try:
+            with timer("stage2_align"):
+                stage2 = self.box_aligner.align(other_bev, ego_bev, prior,
+                                                rng=rng)
+        except Exception as error:
+            return self._degraded_result(
+                FailureReason.STAGE2_ERROR,
+                replace(diagnostics, stage2_error=repr(error)),
+                message_bytes=num_bytes)
+        success = (stage2.success and stage2.inliers_box
+                   > self.config.success.min_inliers_box)
+        if not success:
+            return self._degraded_result(
+                FailureReason.BOXES_ONLY_NO_CONSENSUS, diagnostics,
+                message_bytes=num_bytes)
+        combined = stage2.correction @ prior
+        self._last_good = combined
+        record_transition(DegradationLevel.BOXES_ONLY, None)
+        return PoseRecoveryResult(
+            transform=combined,
+            transform_3d=SE3.from_se2(combined),
+            success=True,
+            stage1=_empty_stage1(),
+            stage2=stage2,
+            message_bytes=num_bytes,
+            failure_reason=None,
+            degradation=DegradationLevel.BOXES_ONLY,
+            diagnostics=diagnostics,
+        )
+
+    # ------------------------------------------------------------------
+    # Deprecated entry points (kept as thin wrappers around recover()).
+    # ------------------------------------------------------------------
+    def recover_from_features(self, ego_features: BVFeatures,
+                              other_features: BVFeatures,
+                              ego_boxes, other_boxes,
+                              rng: np.random.Generator | int | None = None,
+                              timer: StageTimer | None = None,
+                              ) -> PoseRecoveryResult:
+        """Deprecated: :meth:`recover` accepts features directly."""
+        warnings.warn(
+            "BBAlign.recover_from_features() is deprecated; recover() "
+            "dispatches on its inputs and accepts BVFeatures directly",
+            DeprecationWarning, stacklevel=2)
+        return self.recover(ego_features, other_features, ego_boxes,
+                            other_boxes, rng=rng, timer=timer)
+
     def recover_from_message(self, ego_cloud: PointCloud,
                              payload: bytes | None,
                              ego_boxes,
@@ -304,65 +622,14 @@ class BBAlign:
                              stale: bool = False,
                              ego_features: BVFeatures | None = None,
                              ) -> PoseRecoveryResult:
-        """Recover the pose from a received (possibly damaged) wire message.
-
-        The receiver-side entry point a deployment actually has: the raw
-        bytes that came off the V2V link, or ``None`` when the frame was
-        dropped.  Decode failures (:class:`repro.comms.CodecError`) and
-        drops walk the fallback ladder instead of raising.
-
-        Args:
-            ego_cloud: ego car's lidar scan.
-            payload: the received :class:`~repro.comms.V2VMessage` bytes,
-                or ``None`` for a dropped frame.
-            ego_boxes: ego detections (Box3D or Box2D) in the ego frame.
-            rng: randomness for both RANSAC stages.
-            timer: optional stage-timer factory.
-            stale: the frame arrived too late to trust for this timestep
-                (e.g. :attr:`repro.comms.Delivery.delay_frames` > 0);
-                treated as unusable for the current frame.
-            ego_features: precomputed ego-side stage-1 features — sweeps
-                that transmit many variants of the same frame pass this
-                to skip re-extraction.
-
-        Returns:
-            A :class:`PoseRecoveryResult`; never raises on bad data.
-        """
-        # Imported here: repro.comms depends on repro.bev, and keeping
-        # the import local avoids a package-level core <-> comms cycle.
-        from repro.comms.codec import CodecError
-        from repro.comms.message import V2VMessage
-
-        if payload is None:
-            return self._degraded_result(FailureReason.MESSAGE_DROPPED,
-                                         StageDiagnostics())
-        if stale:
-            return self._degraded_result(FailureReason.MESSAGE_STALE,
-                                         StageDiagnostics(),
-                                         message_bytes=len(payload))
-        try:
-            message = V2VMessage.from_bytes(payload)
-        except CodecError as error:
-            return self._degraded_result(
-                FailureReason.MESSAGE_UNDECODABLE,
-                StageDiagnostics(decode_error=str(error)),
-                message_bytes=len(payload))
-        timer = timer or _no_timing
-        try:
-            with timer("bv_extract"):
-                if ego_features is None:
-                    ego_features = self.extract_features(ego_cloud,
-                                                         timer=timer)
-                other_features = self.bv_matcher.extract(message.bv_image,
-                                                         timer=timer)
-        except Exception as error:
-            return self._degraded_result(
-                FailureReason.EXTRACTION_ERROR,
-                StageDiagnostics(stage1_error=repr(error)),
-                message_bytes=len(payload))
-        return self.recover_from_features(ego_features, other_features,
-                                          ego_boxes, message.boxes,
-                                          rng=rng, timer=timer)
+        """Deprecated: :meth:`recover` accepts wire payloads directly."""
+        warnings.warn(
+            "BBAlign.recover_from_message() is deprecated; recover() "
+            "dispatches on its inputs and accepts wire payloads directly",
+            DeprecationWarning, stacklevel=2)
+        ego = ego_features if ego_features is not None else ego_cloud
+        return self.recover(ego, payload, ego_boxes, rng=rng, timer=timer,
+                            stale=stale)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -210,7 +210,7 @@ def evaluate_pair(record, aligner: BBAlign, detector: SimulatedDetector,
                                    record.index, cache, dataset_fp,
                                    extraction_fp, timings)
     timer = None if timings is None else functools.partial(stage, timings)
-    result = aligner.recover_from_features(
+    result = aligner.recover(
         ego_features, other_features,
         [d.box for d in ego_dets], [d.box for d in other_dets],
         rng=np.random.default_rng([seed, record.index, 2]), timer=timer)

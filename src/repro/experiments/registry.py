@@ -78,6 +78,12 @@ class ExperimentSpec:
         parallelizable: whether ``workers`` actually shards work (the
             sweep-backed experiments); purely informational — every
             runner accepts the keyword.
+        cli_options: optional hook called with this experiment's CLI
+            subparser to register experiment-specific flags (e.g.
+            ``repro bandwidth --tier``).
+        cli_option_dests: the argparse dests those flags bind; the CLI
+            forwards each (when present and not ``None``) as an extra
+            keyword to the runner.
     """
 
     name: str
@@ -86,24 +92,28 @@ class ExperimentSpec:
     description: str
     paper_artifact: str = ""
     parallelizable: bool = True
+    cli_options: Callable[[Any], None] | None = None
+    cli_option_dests: tuple[str, ...] = ()
 
     def run(self, num_pairs: int, seed: int, *,
-            workers: int = 1) -> Any:
+            workers: int = 1, **extra: Any) -> Any:
         """Invoke the runner under the uniform calling convention.
 
-        Legacy runners without a ``workers`` parameter are still called
-        (minus ``workers``) with a deprecation warning — the shim for
-        experiments written before the runtime engine existed.
+        ``extra`` carries experiment-specific keywords collected from
+        ``cli_option_dests``.  Legacy runners without a ``workers``
+        parameter are still called (minus ``workers``) with a
+        deprecation warning — the shim for experiments written before
+        the runtime engine existed.
         """
         if _accepts_workers(self.runner):
             return self.runner(num_pairs=num_pairs, seed=seed,
-                               workers=workers)
+                               workers=workers, **extra)
         warnings.warn(
             f"experiment {self.name!r}: runner {self.runner.__name__} uses "
             "the legacy (num_pairs, seed) signature; add a keyword-only "
             "'workers' parameter to adopt the uniform convention",
             DeprecationWarning, stacklevel=2)
-        return self.runner(num_pairs=num_pairs, seed=seed)
+        return self.runner(num_pairs=num_pairs, seed=seed, **extra)
 
     def format(self, result: Any) -> str:
         return self.formatter(result)

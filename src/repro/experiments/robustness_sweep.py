@@ -105,7 +105,7 @@ def run_robustness_sweep(num_pairs: int = 12, seed: int = 2024, *,
     Every pair's message is encoded once; each grid cell pushes it
     through its own :class:`LossyChannel` with a per-(cell, pair)
     spawn-key stream, then recovers via
-    :meth:`~repro.core.BBAlign.recover_from_message` — the
+    :meth:`~repro.core.BBAlign.recover` — the
     receiver-side entry point that never raises.  Each cell uses a
     fresh :class:`BBAlign` so the temporal last-good memory cannot leak
     between cells, and pairs run in index order so that memory means
@@ -145,12 +145,11 @@ def run_robustness_sweep(num_pairs: int = 12, seed: int = 2024, *,
                 payload,
                 rng=np.random.default_rng(
                     [seed, cell_index, index, _CHANNEL_STREAM]))
-            result = aligner.recover_from_message(
-                pair.ego_cloud, delivery.payload, ego_boxes,
+            result = aligner.recover(
+                ego_features, delivery.payload, ego_boxes,
                 rng=np.random.default_rng(
                     [seed, index, _RECOVERY_STREAM]),
-                stale=delivery.delay_frames > 0,
-                ego_features=ego_features)
+                stale=delivery.delay_frames > 0)
             if result.success:
                 successes += 1
                 errors = pose_errors(result.transform, pair.gt_relative)

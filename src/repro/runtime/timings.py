@@ -268,7 +268,47 @@ class SweepTimings:
             lines.append(
                 f"  feature cache: {self.cache_hits}/{attempts} hits "
                 f"({self.cache_hits / attempts * 100:.0f} %)")
+        comms = self._format_comms()
+        if comms:
+            lines.append(comms)
         return "\n".join(lines)
+
+    def _format_comms(self) -> str | None:
+        """One line of per-message byte accounting, when comms ran.
+
+        Sent-side counters come from :func:`repro.comms.accounting.
+        record_sent`; the received-size histogram from the pipeline's
+        message path.  Absent both, the sweep had no comms traffic and
+        the line is omitted.
+        """
+        counters = self.registry.counters
+        sent = counters.get("comms/messages_sent")
+        received = self.registry.histograms.get("comms/message_bytes")
+        if (sent is None or sent.value == 0) \
+                and (received is None or received.count == 0):
+            return None
+        parts = []
+        if sent is not None and sent.value:
+            encoded = counters["comms/bytes/encoded"].value
+            payload = counters.get("comms/bytes/payload")
+            ratio = (f", {payload.value / encoded:.1f}x vs dense"
+                     if payload is not None and encoded else "")
+            parts.append(f"sent {sent.value} msgs, "
+                         f"{encoded / sent.value / 1024:.1f} KiB/msg"
+                         f"{ratio}")
+        if received is not None and received.count:
+            parts.append(f"received {received.count} msgs, "
+                         f"{received.total / received.count / 1024:.1f} "
+                         f"KiB/msg")
+        tiers = sorted(
+            (name.split("/")[2], int(counters[name].value))
+            for name in counters
+            if name.startswith("comms/tier/")
+            and name.endswith("/messages"))
+        if tiers:
+            parts.append("tiers " + " ".join(
+                f"{tier}={count}" for tier, count in tiers))
+        return "  comms: " + "; ".join(parts)
 
 
 @contextlib.contextmanager

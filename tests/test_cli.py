@@ -83,17 +83,41 @@ class TestExecution:
                 inspect.Parameter.KEYWORD_ONLY, spec.name
 
 
-class TestDeprecatedAlias:
-    def test_experiments_table_still_served(self):
+class TestRemovedAlias:
+    def test_experiments_table_gone(self):
+        """The PR-1 ``cli.EXPERIMENTS`` shim is removed; the registry
+        is the one lookup surface."""
         import repro.cli as cli
-        with pytest.warns(DeprecationWarning):
-            table = cli.EXPERIMENTS
-        assert set(table) == set(experiment_names())
-        runner, formatter, description = table["fig7"]
-        assert callable(runner) and callable(formatter)
-        assert description
+        with pytest.raises(AttributeError):
+            cli.EXPERIMENTS
 
-    def test_unknown_attribute_still_raises(self):
+    def test_unknown_attribute_raises(self):
         import repro.cli as cli
         with pytest.raises(AttributeError):
             cli.NOPE
+
+
+class TestExperimentOptions:
+    def test_tier_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["bandwidth", "--tier", "keypoints",
+                                  "--adaptive"])
+        assert args.tier == "keypoints"
+        assert args.adaptive is True
+
+    def test_tier_flag_scoped_to_bandwidth(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig7", "--tier", "keypoints"])
+
+    def test_rejects_unknown_tier(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bandwidth", "--tier", "hologram"])
+
+    def test_grid_path_via_cli(self, capsys):
+        assert main(["bandwidth", "--pairs", "2", "--seed", "5",
+                     "--tier", "boxes-only"]) == 0
+        out = capsys.readouterr().out
+        assert "Comms grid" in out
+        assert "boxes-only" in out

@@ -14,13 +14,22 @@ from hypothesis import strategies as st
 
 from repro.bev.projection import BVImage
 from repro.boxes.box import Box2D
-from repro.comms import CodecError, V2VMessage
+from repro.comms import (
+    CodecError,
+    Tier,
+    TieredMessage,
+    V2VMessage,
+    decode_message,
+    encode_message,
+)
 from repro.comms.codec import (
     decode_boxes,
     decode_bv_image,
     encode_boxes,
     encode_bv_image,
 )
+from repro.comms.tiers import KeypointPayload
+from repro.pointcloud.cloud import PointCloud
 
 
 def small_bv_image(seed=0):
@@ -35,6 +44,33 @@ def some_boxes(seed=0):
     rng = np.random.default_rng(seed)
     return [Box2D(*rng.uniform(-30, 30, 2), 4.5, 1.9,
                   rng.uniform(-3, 3)) for _ in range(5)]
+
+
+def small_keypoints(seed=0, n=6):
+    rng = np.random.default_rng(seed)
+    desc = rng.random((n, 2 * 2 * 3))
+    desc /= np.linalg.norm(desc, axis=1, keepdims=True)
+    return KeypointPayload(
+        xy=rng.integers(0, 16, (n, 2)).astype(np.int64),
+        scores=rng.random(n), descriptors=desc, image_size=16,
+        cell_size=0.4, lidar_range=3.2, grid_size=2, num_orientations=3)
+
+
+def tier_message(tier: Tier) -> bytes:
+    """A small valid encoded message of the requested tier."""
+    boxes = some_boxes()
+    if tier is Tier.FULL_SCAN:
+        rng = np.random.default_rng(2)
+        message = TieredMessage(tier, boxes,
+                                cloud=PointCloud(rng.uniform(
+                                    -10, 10, (40, 3))))
+    elif tier is Tier.BV_IMAGE:
+        message = TieredMessage(tier, boxes, bv_image=small_bv_image())
+    elif tier is Tier.KEYPOINTS:
+        message = TieredMessage(tier, boxes, keypoints=small_keypoints())
+    else:
+        message = TieredMessage(tier, boxes)
+    return encode_message(message, record=False)
 
 
 class TestRoundTrip:
@@ -97,6 +133,14 @@ class TestEveryTruncationPoint:
             with pytest.raises(CodecError):
                 V2VMessage.from_bytes(data[:cut])
 
+    @pytest.mark.parametrize("tier", list(Tier))
+    def test_tiered_message_all_prefixes(self, tier):
+        """Every tier magic gets the same total-decoder guarantee."""
+        data = tier_message(tier)
+        for cut in range(len(data)):
+            with pytest.raises(CodecError):
+                decode_message(data[:cut])
+
 
 class TestByteFlips:
     """Any single-byte XOR damage must be detected.
@@ -123,6 +167,16 @@ class TestByteFlips:
         with pytest.raises(CodecError):
             V2VMessage.from_bytes(bytes(data))
 
+    @pytest.mark.parametrize("tier", list(Tier))
+    @given(position_seed=st.integers(0, 10 ** 9),
+           flip=st.integers(1, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_tiered_single_flip_detected(self, tier, position_seed, flip):
+        data = bytearray(tier_message(tier))
+        data[position_seed % len(data)] ^= flip
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
     @given(st.binary(max_size=2048))
     @settings(max_examples=100, deadline=None)
     def test_arbitrary_garbage_never_crashes(self, garbage):
@@ -133,6 +187,17 @@ class TestByteFlips:
             decode_boxes(garbage)
         with pytest.raises(CodecError):
             V2VMessage.from_bytes(garbage)
+        with pytest.raises(CodecError):
+            decode_message(garbage)
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_garbage_behind_valid_tier_magic(self, garbage):
+        """A correct magic with arbitrary bytes after it still fails
+        cleanly — the magic is a claim, the CRC is the verdict."""
+        for magic in (b"TF01", b"TB01", b"TK01", b"TX01"):
+            with pytest.raises(CodecError):
+                decode_message(magic + garbage)
 
     def test_codec_error_is_value_error(self):
         """Pre-hardening callers caught ValueError; that must keep

@@ -1,0 +1,81 @@
+"""Adaptive tier policy: ladder stepping and hysteresis."""
+
+import pytest
+
+from repro.comms import AdaptiveTierPolicy, TIER_LADDER, Tier
+from repro.comms.channel import Delivery
+
+
+def ok():
+    return Delivery(payload=b"fine")
+
+
+def dropped():
+    return Delivery(payload=None, dropped=True)
+
+
+def stale(frames=2):
+    return Delivery(payload=b"late", delay_frames=frames)
+
+
+class TestLadder:
+    def test_ladder_order(self):
+        assert TIER_LADDER == (Tier.FULL_SCAN, Tier.BV_IMAGE,
+                               Tier.KEYPOINTS, Tier.BOXES_ONLY)
+
+    def test_starts_at_full_scan(self):
+        assert AdaptiveTierPolicy().tier is Tier.FULL_SCAN
+
+    def test_custom_start(self):
+        policy = AdaptiveTierPolicy(start=Tier.KEYPOINTS)
+        assert policy.tier is Tier.KEYPOINTS
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            AdaptiveTierPolicy(step_down_after=0)
+
+
+class TestStepping:
+    def test_steps_down_after_consecutive_failures(self):
+        policy = AdaptiveTierPolicy(step_down_after=2)
+        policy.observe(dropped())
+        assert policy.tier is Tier.FULL_SCAN  # one failure: hold
+        policy.observe(dropped())
+        assert policy.tier is Tier.BV_IMAGE
+
+    def test_undecodable_counts_as_failure(self):
+        policy = AdaptiveTierPolicy(step_down_after=1)
+        policy.observe(ok(), decoded=False)
+        assert policy.tier is Tier.BV_IMAGE
+
+    def test_success_resets_failure_streak(self):
+        policy = AdaptiveTierPolicy(step_down_after=2)
+        policy.observe(dropped())
+        policy.observe(ok())
+        policy.observe(dropped())
+        assert policy.tier is Tier.FULL_SCAN  # streak broken; no step
+
+    def test_steps_up_after_consecutive_successes(self):
+        policy = AdaptiveTierPolicy(start=Tier.KEYPOINTS,
+                                    step_up_after=3)
+        for _ in range(3):
+            policy.observe(ok())
+        assert policy.tier is Tier.BV_IMAGE
+
+    def test_clamps_at_both_ends(self):
+        policy = AdaptiveTierPolicy(step_down_after=1, step_up_after=1)
+        for _ in range(10):
+            policy.observe(dropped())
+        assert policy.tier is Tier.BOXES_ONLY
+        for _ in range(10):
+            policy.observe(ok())
+        assert policy.tier is Tier.FULL_SCAN
+
+    def test_staleness_is_not_punished(self):
+        policy = AdaptiveTierPolicy(step_down_after=1)
+        policy.observe(stale())
+        assert policy.tier is Tier.FULL_SCAN
+
+    def test_observe_returns_next_tier(self):
+        policy = AdaptiveTierPolicy(step_down_after=1)
+        assert policy.observe(dropped()) is Tier.BV_IMAGE

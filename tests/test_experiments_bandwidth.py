@@ -1,0 +1,125 @@
+"""The bandwidth experiment: legacy sizes and the tier x impairment grid."""
+
+import pytest
+
+from repro.experiments.bandwidth import (
+    IMPAIRMENTS,
+    BandwidthResult,
+    CommsCell,
+    CommsGridResult,
+    format_bandwidth,
+    format_comms_grid,
+    run_bandwidth,
+    run_comms_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_grid():
+    """A 2-pair grid over a policy subset (keeps runtime in seconds)."""
+    return run_comms_grid(num_pairs=2, seed=11,
+                          policies=("full-scan", "boxes-only", "adaptive"))
+
+
+class TestLegacyPath:
+    def test_run_bandwidth_default_is_size_comparison(self):
+        result = run_bandwidth(num_pairs=2, seed=5)
+        assert isinstance(result, BandwidthResult)
+        assert result.raw_cloud_mean > result.encoded_message_mean
+        assert "Bandwidth" in format_bandwidth(result)
+
+    def test_tier_flag_switches_to_grid(self):
+        result = run_bandwidth(num_pairs=2, seed=5, tier="boxes-only")
+        assert isinstance(result, CommsGridResult)
+        assert {c.policy for c in result.cells} == {"boxes-only"}
+        assert "Comms grid" in format_bandwidth(result)
+
+
+class TestGrid:
+    def test_cell_layout(self, tiny_grid):
+        assert len(tiny_grid.cells) == 3 * len(IMPAIRMENTS)
+        impairment_names = [name for name, _, _ in IMPAIRMENTS]
+        for cell in tiny_grid.cells:
+            assert cell.impairment in impairment_names
+            assert cell.num_pairs == 2
+            assert 0 <= cell.successes <= cell.num_pairs
+            assert cell.delivered <= cell.num_pairs
+
+    def test_control_cell_is_byte_identical(self, tiny_grid):
+        assert tiny_grid.control_identical is True
+
+    def test_control_unattested_without_full_scan(self):
+        grid = run_comms_grid(num_pairs=2, seed=11,
+                              policies=("boxes-only",))
+        assert grid.control_identical is False
+
+    def test_clean_full_scan_sends_every_pair(self, tiny_grid):
+        cell = tiny_grid.cell("full-scan", "clean")
+        assert cell.delivered == cell.num_pairs
+        assert cell.decode_errors == 0
+        assert cell.tier_messages == {"full-scan": 2}
+
+    def test_drop_cell_loses_bytes_not_sends(self, tiny_grid):
+        clean = tiny_grid.cell("full-scan", "clean")
+        dropped = tiny_grid.cell("full-scan", "drop-0.3")
+        # The sender pays for every message whether or not it lands.
+        assert dropped.total_sent_bytes == clean.total_sent_bytes
+
+    def test_pareto_frontier_is_nondominated(self, tiny_grid):
+        for impairment, _, _ in IMPAIRMENTS:
+            frontier = tiny_grid.pareto(impairment)
+            assert frontier
+            for a in frontier:
+                for b in frontier:
+                    if a is b:
+                        continue
+                    assert not (b.success_rate >= a.success_rate
+                                and b.mean_sent_bytes < a.mean_sent_bytes)
+
+    def test_deterministic_across_runs(self):
+        first = run_comms_grid(num_pairs=2, seed=11,
+                               policies=("boxes-only", "adaptive"))
+        second = run_comms_grid(num_pairs=2, seed=11,
+                                policies=("boxes-only", "adaptive"))
+        for a, b in zip(first.cells, second.cells):
+            assert (a.successes, a.total_sent_bytes, a.tier_messages) \
+                == (b.successes, b.total_sent_bytes, b.tier_messages)
+
+    def test_policy_subset_keeps_channel_streams(self, tiny_grid):
+        """A cell's outcome does not depend on which other policies ran
+        (channel streams are keyed by the full-grid cell index)."""
+        alone = run_comms_grid(num_pairs=2, seed=11,
+                               policies=("boxes-only",))
+        subset_cell = alone.cell("boxes-only", "drop-0.3")
+        full_cell = tiny_grid.cell("boxes-only", "drop-0.3")
+        assert subset_cell.successes == full_cell.successes
+        assert subset_cell.total_sent_bytes == full_cell.total_sent_bytes
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policies"):
+            run_comms_grid(num_pairs=2, seed=11, policies=("hologram",))
+
+    def test_format_mentions_every_cell(self, tiny_grid):
+        text = format_comms_grid(tiny_grid)
+        assert "Pareto" in text
+        assert "control identical" in text
+        for cell in tiny_grid.cells:
+            assert cell.policy in text
+
+
+class TestCellMath:
+    def test_rates(self):
+        cell = CommsCell(policy="keypoints", impairment="clean",
+                         drop_rate=0.0, corruption_rate=0.0, num_pairs=4,
+                         successes=3, delivered=4, decode_errors=0,
+                         total_sent_bytes=6000)
+        assert cell.success_rate == 0.75
+        assert cell.mean_sent_bytes == 1500.0
+
+    def test_empty_cell_is_well_defined(self):
+        cell = CommsCell(policy="keypoints", impairment="clean",
+                         drop_rate=0.0, corruption_rate=0.0, num_pairs=0,
+                         successes=0, delivered=0, decode_errors=0,
+                         total_sent_bytes=0)
+        assert cell.success_rate == 0.0
+        assert cell.mean_sent_bytes == 0.0

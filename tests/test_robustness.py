@@ -150,14 +150,13 @@ def wire_setup():
 
 
 class TestDegradationLadder:
-    """Every rung of recover_from_message returns a flagged result —
-    drop, staleness, undecodable bytes, stage errors — and the temporal
-    rung actually reuses the last good pose."""
+    """Every rung of the receiver-side recover() returns a flagged
+    result — drop, staleness, undecodable bytes, stage errors — and the
+    temporal rung actually reuses the last good pose."""
 
     def test_drop_without_history_is_flagged_identity(self, wire_setup):
         pair, ego_boxes, _ = wire_setup
-        result = BBAlign().recover_from_message(pair.ego_cloud, None,
-                                                ego_boxes, rng=0)
+        result = BBAlign().recover(pair.ego_cloud, None, ego_boxes, rng=0)
         assert not result.success
         assert result.failure_reason is FailureReason.MESSAGE_DROPPED
         assert result.degradation is DegradationLevel.IDENTITY
@@ -166,8 +165,8 @@ class TestDegradationLadder:
 
     def test_clean_message_recovers(self, wire_setup):
         pair, ego_boxes, payload = wire_setup
-        result = BBAlign().recover_from_message(pair.ego_cloud, payload,
-                                                ego_boxes, rng=0)
+        result = BBAlign().recover(pair.ego_cloud, payload, ego_boxes,
+                                   rng=0)
         assert result.success
         assert result.failure_reason is None
         assert result.degradation is DegradationLevel.FULL
@@ -176,34 +175,30 @@ class TestDegradationLadder:
     def test_drop_after_success_reuses_last_good_pose(self, wire_setup):
         pair, ego_boxes, payload = wire_setup
         aligner = BBAlign()
-        good = aligner.recover_from_message(pair.ego_cloud, payload,
-                                            ego_boxes, rng=0)
+        good = aligner.recover(pair.ego_cloud, payload, ego_boxes, rng=0)
         assert good.success
         assert aligner.last_good_transform is not None
-        dropped = aligner.recover_from_message(pair.ego_cloud, None,
-                                               ego_boxes, rng=0)
+        dropped = aligner.recover(pair.ego_cloud, None, ego_boxes, rng=0)
         assert not dropped.success
         assert dropped.degradation is DegradationLevel.TEMPORAL
         assert dropped.failure_reason is FailureReason.MESSAGE_DROPPED
         assert dropped.transform.is_close(good.transform)
         # Clearing the memory drops back to the identity rung.
         aligner.reset_temporal()
-        cleared = aligner.recover_from_message(pair.ego_cloud, None,
-                                               ego_boxes, rng=0)
+        cleared = aligner.recover(pair.ego_cloud, None, ego_boxes, rng=0)
         assert cleared.degradation is DegradationLevel.IDENTITY
 
     def test_stale_message_not_used(self, wire_setup):
         pair, ego_boxes, payload = wire_setup
-        result = BBAlign().recover_from_message(pair.ego_cloud, payload,
-                                                ego_boxes, rng=0,
-                                                stale=True)
+        result = BBAlign().recover(pair.ego_cloud, payload, ego_boxes,
+                                   rng=0, stale=True)
         assert not result.success
         assert result.failure_reason is FailureReason.MESSAGE_STALE
         assert result.message_bytes == len(payload)
 
     def test_garbage_bytes_flagged_undecodable(self, wire_setup):
         pair, ego_boxes, _ = wire_setup
-        result = BBAlign().recover_from_message(
+        result = BBAlign().recover(
             pair.ego_cloud, b"not a v2v message at all", ego_boxes, rng=0)
         assert not result.success
         assert result.failure_reason is FailureReason.MESSAGE_UNDECODABLE
@@ -213,9 +208,8 @@ class TestDegradationLadder:
         pair, ego_boxes, payload = wire_setup
         damaged = bytearray(payload)
         damaged[len(damaged) // 2] ^= 0xFF
-        result = BBAlign().recover_from_message(pair.ego_cloud,
-                                                bytes(damaged), ego_boxes,
-                                                rng=0)
+        result = BBAlign().recover(pair.ego_cloud, bytes(damaged),
+                                   ego_boxes, rng=0)
         assert result.failure_reason is FailureReason.MESSAGE_UNDECODABLE
 
     def test_stage2_error_keeps_stage1_estimate(self, wire_setup,
@@ -227,8 +221,7 @@ class TestDegradationLadder:
             raise RuntimeError("stage 2 exploded (test)")
 
         monkeypatch.setattr(aligner.box_aligner, "align", broken_align)
-        result = aligner.recover_from_message(pair.ego_cloud, payload,
-                                              ego_boxes, rng=0)
+        result = aligner.recover(pair.ego_cloud, payload, ego_boxes, rng=0)
         assert result.failure_reason is FailureReason.STAGE2_ERROR
         assert result.degradation is DegradationLevel.STAGE1_ONLY
         assert result.transform.is_close(result.stage1.transform)
@@ -242,8 +235,7 @@ class TestDegradationLadder:
             raise RuntimeError("stage 1 exploded (test)")
 
         monkeypatch.setattr(aligner.bv_matcher, "match", broken_match)
-        result = aligner.recover_from_message(pair.ego_cloud, payload,
-                                              ego_boxes, rng=0)
+        result = aligner.recover(pair.ego_cloud, payload, ego_boxes, rng=0)
         assert not result.success
         assert result.failure_reason is FailureReason.STAGE1_ERROR
         assert "stage 1 exploded" in result.diagnostics.stage1_error
@@ -278,7 +270,7 @@ class TestNonFiniteDiagnostics:
         points[:5] = np.nan
         ego = aligner.extract_features(PointCloud(points))
         other = aligner.extract_features(frame_pair.other_cloud)
-        result = aligner.recover_from_features(ego, other, [], [], rng=0)
+        result = aligner.recover(ego, other, [], [], rng=0)
         assert result.diagnostics.nonfinite_ego_points == 5
         assert result.diagnostics.nonfinite_other_points == 0
 
