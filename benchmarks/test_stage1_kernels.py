@@ -1,10 +1,12 @@
 """Stage-1 kernel micro-benchmarks (the BENCH trajectory baseline).
 
-Measures the three vectorized stage-1 kernels — Log-Gabor/MIM, BVFT
-descriptors, chunked RANSAC — against their pre-vectorization
-implementations, plus the end-to-end stage-1 path (BV image ->
-``T_bv``), and writes ``benchmarks/results/BENCH_stage1.json`` so future
-PRs accumulate a perf trajectory.
+Measures the vectorized stage-1 kernels — Log-Gabor/MIM, BVFT
+descriptors, chunked RANSAC, FAST keypoints, the BV projection, the
+pair-batched bank pass, overlap-ROI culling, and the opt-in float32
+path — against their kept predecessors, plus the end-to-end stage-1
+path (BV image -> ``T_bv``), and writes
+``benchmarks/results/BENCH_stage1.json`` so future PRs accumulate a
+perf trajectory.
 
 The "before" side is the real pre-rework code: the per-frame
 ``radial * angular`` filter product over ``numpy.fft`` (the bank kernel
@@ -34,6 +36,8 @@ import pytest
 from repro.bev.log_gabor import LogGaborBank
 from repro.bev import mim as mim_module
 from repro.bev.mim import compute_mim
+from repro.bev.projection import _reference_height_map, height_map
+from repro.bev.roi import RoiCullConfig
 from repro.core.bv_matching import BVMatcher
 from repro.core.config import BBAlignConfig, BVImageConfig
 from repro.experiments.common import default_dataset
@@ -132,9 +136,10 @@ def _seed_flipped(self):
     return BVFeatures(flipped_image, flipped_mim, flipped_kp, empty)
 
 
-def _seed_compute_mim(bv, config=None):
+def _seed_compute_mim(bv, config=None, precision="float64"):
     """Seed ``compute_mim``: float64 amplitudes with axis-0 argmax/gather
-    (the rework replaced these with a float32 maximum sweep)."""
+    (the rework replaced these with a float32 maximum sweep).  The seed
+    predates the precision knob; the argument is accepted and ignored."""
     image = bv.image if isinstance(bv, mim_module.BVImage) \
         else np.asarray(bv, dtype=float)
     config = config or mim_module.LogGaborConfig()
@@ -149,6 +154,66 @@ def _seed_compute_mim(bv, config=None):
                                 num_orientations=config.num_orientations)
 
 
+def _wave1_detect_fast(image, config=None):
+    """``detect_fast`` as it stood after the first vectorization wave:
+    the segment-test bits were packed through ``astype`` temporaries
+    (one fresh uint16 array per circle offset), which regressed the
+    keypoint kernel below the reference loop at bench scale.  Kept as
+    the "before" side of the keypoint-kernel floor assertion."""
+    from scipy import ndimage
+
+    from repro.features.fast import (
+        CIRCLE_OFFSETS,
+        FastConfig,
+        Keypoints,
+        _arc_lut,
+    )
+    config = config or FastConfig()
+    image = np.asarray(image, dtype=float)
+    h, w = image.shape
+    if min(h, w) < 8:
+        return Keypoints.empty()
+    padded = np.pad(image, 3, mode="constant", constant_values=0.0)
+    packed_b = np.zeros((h, w), dtype=np.uint16)
+    packed_d = np.zeros((h, w), dtype=np.uint16)
+    diff = np.empty((h, w))
+    for k, (dr, dc) in enumerate(CIRCLE_OFFSETS):
+        np.subtract(padded[3 + dr:3 + dr + h, 3 + dc:3 + dc + w], image,
+                    out=diff)
+        packed_b |= np.left_shift(
+            (diff > config.threshold).astype(np.uint16), k)
+        packed_d |= np.left_shift(
+            (diff < -config.threshold).astype(np.uint16), k)
+    lut = _arc_lut(config.arc_length)
+    corners = lut.take(packed_b) | lut.take(packed_d)
+    corners[:3, :] = corners[-3:, :] = False
+    corners[:, :3] = corners[:, -3:] = False
+    if not corners.any():
+        return Keypoints.empty()
+    rows, cols = np.nonzero(corners)
+    circle = np.empty((16, len(rows)))
+    for k, (dr, dc) in enumerate(CIRCLE_OFFSETS):
+        circle[k] = padded[rows + (3 + dr), cols + (3 + dc)]
+    excess = np.abs(circle - image[rows, cols])
+    excess -= config.threshold
+    np.maximum(excess, 0.0, out=excess)
+    scores = excess.sum(axis=0)
+    if config.nms_radius > 0:
+        score = np.zeros((h, w))
+        score[rows, cols] = scores
+        size = 2 * config.nms_radius + 1
+        local_max = ndimage.maximum_filter(score, size=size, mode="constant")
+        keep = (scores >= local_max[rows, cols]) & (scores > 0)
+        rows, cols, scores = rows[keep], cols[keep], scores[keep]
+        if not len(rows):
+            return Keypoints.empty()
+    order = np.argsort(-scores, kind="stable")
+    if config.max_keypoints:
+        order = order[:config.max_keypoints]
+    xy = np.stack([cols[order], rows[order]], axis=1).astype(float)
+    return Keypoints(xy=xy, scores=scores[order])
+
+
 @pytest.fixture(scope="module")
 def bench_inputs():
     """One realistic frame pair rendered at the 320 x 320 bench scale."""
@@ -158,7 +223,7 @@ def bench_inputs():
     ego_bv = matcher.make_bv_image(record.pair.ego_cloud)
     other_bv = matcher.make_bv_image(record.pair.other_cloud)
     assert ego_bv.size == 320
-    return {"config": config, "matcher": matcher,
+    return {"config": config, "matcher": matcher, "record": record,
             "ego_bv": ego_bv, "other_bv": other_bv}
 
 
@@ -264,6 +329,106 @@ def test_stage1_kernels_write_bench_trajectory(bench_inputs, results_dir,
         "before_ms": round(before, 3), "after_ms": round(after, 3),
         "speedup": round(before / after, 2),
         "num_matches": int(len(matches))}
+
+    # ------------------------------------------------------------------
+    # Kernel 4: FAST keypoints.  The "before" is the first-wave
+    # vectorization (astype bit packing), which regressed below the
+    # reference loop; the floor assertion keeps the kernel from ever
+    # sliding back under it.
+    # ------------------------------------------------------------------
+    wave1_kp = _wave1_detect_fast(image, config.fast)
+    new_kp = detect_fast(image, config.fast)
+    assert np.array_equal(new_kp.xy, wave1_kp.xy)
+    assert np.array_equal(new_kp.scores, wave1_kp.scores)
+    before, after = _ab_best(
+        lambda: _wave1_detect_fast(image, config.fast),
+        lambda: detect_fast(image, config.fast), rounds=7)
+    kp_speedup = before / after
+    report["kernels"]["fast_keypoints"] = {
+        "before_ms": round(before, 3), "after_ms": round(after, 3),
+        "speedup": round(kp_speedup, 2),
+        "num_keypoints": int(len(new_kp))}
+    if _STRICT:
+        assert kp_speedup >= 1.0, (
+            f"fast_keypoints speedup {kp_speedup:.2f}x: the keypoint "
+            f"kernel is slower than its wave-1 predecessor again")
+
+    # ------------------------------------------------------------------
+    # Kernel 5: BV projection (cloud -> height map).
+    # ------------------------------------------------------------------
+    cloud = bench_inputs["record"].pair.ego_cloud
+    cell = config.bv_image.cell_size
+    lidar_range = config.bv_image.lidar_range
+    ref_bv = _reference_height_map(cloud, cell, lidar_range)
+    new_bv = height_map(cloud, cell, lidar_range)
+    assert np.array_equal(new_bv.image, ref_bv.image)
+    assert new_bv.num_nonfinite == ref_bv.num_nonfinite
+    before, after = _ab_best(
+        lambda: _reference_height_map(cloud, cell, lidar_range),
+        lambda: height_map(cloud, cell, lidar_range), rounds=7)
+    report["kernels"]["projection_height_map"] = {
+        "before_ms": round(before, 3), "after_ms": round(after, 3),
+        "speedup": round(before / after, 2),
+        "num_points": int(len(cloud.points))}
+
+    # ------------------------------------------------------------------
+    # Kernel 6: pair-batched extraction vs two single extractions.
+    # Bitwise-identical outputs; the gain is the shared bank pass.
+    # ------------------------------------------------------------------
+    pa, pb = matcher.extract_pair(ego_bv, other_bv)
+    sa = matcher.extract(ego_bv)
+    sb = matcher.extract(other_bv)
+    for pair_f, single_f in ((pa, sa), (pb, sb)):
+        assert np.array_equal(pair_f.keypoints.xy, single_f.keypoints.xy)
+        assert np.array_equal(pair_f.descriptors.descriptors,
+                              single_f.descriptors.descriptors)
+    before, after = _ab_best(
+        lambda: (matcher.extract(ego_bv), matcher.extract(other_bv)),
+        lambda: matcher.extract_pair(ego_bv, other_bv), rounds=5)
+    report["kernels"]["pair_batched_extraction"] = {
+        "before_ms": round(before, 3), "after_ms": round(after, 3),
+        "speedup": round(before / after, 2)}
+
+    # ------------------------------------------------------------------
+    # Kernel 7: overlap-ROI culling.  Not an equivalence pair — cropping
+    # deliberately changes which keypoints exist (see DESIGN.md) — so
+    # this records the cost ratio of a culled extraction against the
+    # same extraction without a prior.
+    # ------------------------------------------------------------------
+    roi_matcher = BVMatcher(BBAlignConfig(
+        bv_image=BVImageConfig(cell_size=_CELL_SIZE),
+        roi=RoiCullConfig(enabled=True)))
+    gt = bench_inputs["record"].pair.gt_relative
+    prior = gt.translation
+    roi_features = roi_matcher.extract(ego_bv, prior=prior)
+    assert roi_features.roi is not None
+    before, after = _ab_best(
+        lambda: roi_matcher.extract(ego_bv),
+        lambda: roi_matcher.extract(ego_bv, prior=prior), rounds=5)
+    report["kernels"]["roi_extraction"] = {
+        "before_ms": round(before, 3), "after_ms": round(after, 3),
+        "speedup": round(before / after, 2),
+        "window_size": int(roi_features.roi.size),
+        "image_size": int(ego_bv.size)}
+
+    # ------------------------------------------------------------------
+    # Kernel 8: the opt-in float32 stage-1 path, BV image -> T_bv.
+    # Agreement (not identity) with float64: same success verdict here;
+    # the sweep-level contract lives in tests/test_stage1_precision.py.
+    # ------------------------------------------------------------------
+    matcher32 = BVMatcher(BBAlignConfig(
+        bv_image=BVImageConfig(cell_size=_CELL_SIZE),
+        stage1_precision="float32"))
+    result64 = _run_stage1(matcher, other_bv, ego_bv)
+    result32 = _run_stage1(matcher32, other_bv, ego_bv)
+    assert result32.success == result64.success
+    before, after = _ab_best(
+        lambda: _run_stage1(matcher, other_bv, ego_bv),
+        lambda: _run_stage1(matcher32, other_bv, ego_bv), rounds=3)
+    report["kernels"]["float32_stage1"] = {
+        "before_ms": round(before, 3), "after_ms": round(after, 3),
+        "speedup": round(before / after, 2),
+        "success": bool(result32.success)}
 
     # ------------------------------------------------------------------
     # End to end: BV image -> T_bv through the production BVMatcher, with

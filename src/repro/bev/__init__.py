@@ -6,7 +6,7 @@ detection: the height-map BV projection (Eq. 4), the Log-Gabor filter bank
 """
 
 from repro.bev.log_gabor import LogGaborBank, LogGaborConfig
-from repro.bev.mim import MIMResult, compute_mim
+from repro.bev.mim import MIMResult, compute_mim, compute_mim_batch
 from repro.bev.phase_congruency import (
     PhaseCongruencyResult,
     compute_phase_congruency,
@@ -16,6 +16,7 @@ from repro.bev.projection import (
     density_map,
     height_map,
 )
+from repro.bev.roi import RoiCullConfig, RoiWindow, roi_window
 
 __all__ = [
     "BVImage",
@@ -23,8 +24,12 @@ __all__ = [
     "LogGaborConfig",
     "MIMResult",
     "PhaseCongruencyResult",
+    "RoiCullConfig",
+    "RoiWindow",
     "compute_mim",
+    "compute_mim_batch",
     "compute_phase_congruency",
     "density_map",
     "height_map",
+    "roi_window",
 ]

@@ -25,7 +25,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bev.log_gabor import LogGaborBank, LogGaborConfig
+from repro.bev._fft import fft2 as _fft2
+from repro.bev._fft import ifft2 as _ifft2
+from repro.bev.log_gabor import LogGaborConfig
+from repro.bev.mim import _get_bank
 from repro.bev.projection import BVImage
 
 __all__ = ["PhaseCongruencyResult", "compute_phase_congruency"]
@@ -70,9 +73,14 @@ def compute_phase_congruency(bv: BVImage | np.ndarray,
     if image.ndim != 2 or image.shape[0] != image.shape[1]:
         raise ValueError(f"expected a square image, got {image.shape}")
     config = config or LogGaborConfig()
-    bank = LogGaborBank(image.shape[0], config)
+    # Reuses the MIM layer's bank cache: a sweep that runs both the MIM
+    # and the phase-congruency detector on the same image size builds
+    # the frequency windows once.
+    bank = _get_bank(image.shape[0], config)
 
-    image_fft = np.fft.fft2(image)
+    # Transforms go through the shared SciPy-backed helpers (pocketfft),
+    # like every other frequency-domain consumer in repro.bev.
+    image_fft = _fft2(image)
     n_orient = config.num_orientations
     size = image.shape[0]
     pc = np.zeros((n_orient, size, size))
@@ -82,7 +90,7 @@ def compute_phase_congruency(bv: BVImage | np.ndarray,
         sum_amplitude = np.zeros((size, size))
         smallest_scale_amplitude = None
         for s in range(config.num_scales):
-            response = np.fft.ifft2(
+            response = _ifft2(
                 image_fft * (bank._radial[s] * bank._angular[o]))
             sum_complex += response
             amplitude = np.abs(response)

@@ -117,6 +117,9 @@ class BVImage:
         return int(np.ceil(self.image.size * bits_per_pixel / 8))
 
 
+_ONES3 = np.ones(3)
+
+
 def _cell_indices(cloud: PointCloud, cell_size: float, lidar_range: float,
                   ) -> tuple[np.ndarray, np.ndarray, int, np.ndarray, int]:
     """Common binning: returns (rows, cols, H, in_range_mask, nonfinite).
@@ -124,24 +127,42 @@ def _cell_indices(cloud: PointCloud, cell_size: float, lidar_range: float,
     Points with any non-finite coordinate are rejected here — the
     projection is the validation boundary between raw sensor data and
     the numeric pipeline, and a NaN height written into one cell would
-    spread through the Log-Gabor frequency products to the entire MIM.
-    The rejected count is surfaced on the returned image so callers can
+    spread through the Log-Gabor bank products to the entire MIM.  The
+    rejected count is surfaced on the returned image so callers can
     report it in recovery diagnostics.
+
+    The finite screen rides one BLAS row-sum: a row sum is finite iff
+    every coordinate is (a NaN propagates, a lone inf survives, and an
+    inf pair cancels to NaN).  The only false *negatives* are finite
+    rows whose sum overflows to inf, so exactly those flagged rows get
+    the elementwise re-check — the mask is bit-identical to
+    ``np.isfinite(points).all(axis=1)`` at a third of the cost.
     """
     if cell_size <= 0 or lidar_range <= 0:
         raise ValueError("cell_size and lidar_range must be positive")
     size = int(round(2.0 * lidar_range / cell_size))
     if size < 1:
         raise ValueError("lidar_range/cell_size too small for a 1x1 image")
-    finite = np.isfinite(cloud.points).all(axis=1)
+    points = cloud.points
+    with np.errstate(over="ignore", invalid="ignore"):
+        finite = np.isfinite(points @ _ONES3)
+    if not finite.all():
+        flagged = np.flatnonzero(~finite)
+        finite[flagged] = np.isfinite(points[flagged]).all(axis=1)
     num_nonfinite = int(len(finite) - np.count_nonzero(finite))
-    xy = cloud.xy
-    in_range = (finite
-                & (xy[:, 0] >= -lidar_range) & (xy[:, 0] < lidar_range)
-                & (xy[:, 1] >= -lidar_range) & (xy[:, 1] < lidar_range))
-    xy = xy[in_range]
-    cols = np.floor((xy[:, 0] + lidar_range) / cell_size).astype(np.int64)
-    rows = np.floor((xy[:, 1] + lidar_range) / cell_size).astype(np.int64)
+    x = points[:, 0]
+    y = points[:, 1]
+    # NaN coordinates fail every comparison and infs fail one bound, so
+    # chaining in-place &= over the column views reproduces the original
+    # mask without materializing four intermediate bool arrays (or the
+    # (N, 2) fancy-indexed copy of xy the old code sliced from).
+    in_range = finite
+    in_range &= x >= -lidar_range
+    in_range &= x < lidar_range
+    in_range &= y >= -lidar_range
+    in_range &= y < lidar_range
+    cols = np.floor((x[in_range] + lidar_range) / cell_size).astype(np.int64)
+    rows = np.floor((y[in_range] + lidar_range) / cell_size).astype(np.int64)
     np.clip(cols, 0, size - 1, out=cols)
     np.clip(rows, 0, size - 1, out=rows)
     return rows, cols, size, in_range, num_nonfinite
@@ -181,6 +202,54 @@ def height_map(cloud: PointCloud, cell_size: float = 0.4,
         if max_height is not None:
             z = np.minimum(z, max_height)
         # Scatter-max via np.maximum.at on flattened indices.
+        flat = rows * size + cols
+        flat_img = image.reshape(-1)
+        np.maximum.at(flat_img, flat, z)
+    return BVImage(image, cell_size, lidar_range, num_nonfinite=nonfinite)
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-optimization) projection: the original binning with the
+# elementwise finite reduction and (N, 2) xy copy, kept verbatim for the
+# equivalence tests and the benchmark before-side.
+# ----------------------------------------------------------------------
+def _reference_cell_indices(cloud: PointCloud, cell_size: float,
+                            lidar_range: float,
+                            ) -> tuple[np.ndarray, np.ndarray, int,
+                                       np.ndarray, int]:
+    if cell_size <= 0 or lidar_range <= 0:
+        raise ValueError("cell_size and lidar_range must be positive")
+    size = int(round(2.0 * lidar_range / cell_size))
+    if size < 1:
+        raise ValueError("lidar_range/cell_size too small for a 1x1 image")
+    finite = np.isfinite(cloud.points).all(axis=1)
+    num_nonfinite = int(len(finite) - np.count_nonzero(finite))
+    xy = cloud.xy
+    in_range = (finite
+                & (xy[:, 0] >= -lidar_range) & (xy[:, 0] < lidar_range)
+                & (xy[:, 1] >= -lidar_range) & (xy[:, 1] < lidar_range))
+    xy = xy[in_range]
+    cols = np.floor((xy[:, 0] + lidar_range) / cell_size).astype(np.int64)
+    rows = np.floor((xy[:, 1] + lidar_range) / cell_size).astype(np.int64)
+    np.clip(cols, 0, size - 1, out=cols)
+    np.clip(rows, 0, size - 1, out=rows)
+    return rows, cols, size, in_range, num_nonfinite
+
+
+def _reference_height_map(cloud: PointCloud, cell_size: float = 0.4,
+                          lidar_range: float = 50.0,
+                          min_height: float = 0.0,
+                          max_height: float | None = 5.0) -> BVImage:
+    """Pre-optimization :func:`height_map`; must stay byte-identical."""
+    if max_height is not None and max_height <= min_height:
+        raise ValueError("max_height must exceed min_height")
+    rows, cols, size, in_range, nonfinite = _reference_cell_indices(
+        cloud, cell_size, lidar_range)
+    image = np.zeros((size, size))
+    if len(rows):
+        z = np.maximum(cloud.z[in_range], min_height)
+        if max_height is not None:
+            z = np.minimum(z, max_height)
         flat = rows * size + cols
         flat_img = image.reshape(-1)
         np.maximum.at(flat_img, flat, z)

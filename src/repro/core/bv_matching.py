@@ -15,8 +15,9 @@ from typing import Callable, ContextManager
 
 import numpy as np
 
-from repro.bev.mim import MIMResult, compute_mim
+from repro.bev.mim import MIMResult, compute_mim, compute_mim_batch
 from repro.bev.projection import BVImage, density_map, height_map
+from repro.bev.roi import RoiWindow, roi_window
 from repro.core.config import BBAlignConfig
 from repro.features.descriptors import BvftDescriptorExtractor, DescriptorSet
 from repro.features.fast import Keypoints, detect_fast
@@ -43,12 +44,20 @@ def _no_timing(_stage: str) -> ContextManager:
 
 @dataclass(frozen=True)
 class BVFeatures:
-    """Everything stage 1 extracts from one vehicle's scan."""
+    """Everything stage 1 extracts from one vehicle's scan.
+
+    When overlap-ROI culling was applied, ``roi`` records the crop
+    window: ``mim`` then covers only that window of ``bv_image`` (its
+    arrays are ``(roi.size, roi.size)``), while keypoint and descriptor
+    coordinates are always expressed in the **full** image frame so the
+    downstream matching/RANSAC/stage-2 geometry is unchanged.
+    """
 
     bv_image: BVImage
     mim: MIMResult
     keypoints: Keypoints
     descriptors: DescriptorSet
+    roi: RoiWindow | None = None
 
     def flipped(self) -> "BVFeatures":
         """The same features under an exact 180-degree image rotation.
@@ -150,22 +159,114 @@ class BVMatcher:
                 PcKeypointConfig(log_gabor=self.config.log_gabor))
         return detect_fast(bv_image.image, self.config.fast)
 
-    def extract(self, bv_image: BVImage,
-                timer: StageTimer | None = None) -> BVFeatures:
-        """Compute MIM, keypoints and descriptors for one BV image."""
-        timer = timer or _no_timing
-        with timer("bv_extract/mim"):
-            mim = compute_mim(bv_image, self.config.log_gabor)
+    def _roi_window(self, bv_image: BVImage, prior) -> RoiWindow | None:
+        """The overlap crop window for one image, or None (no culling).
+
+        Culling requires the feature to be enabled, a prior, and the
+        FAST detector: FAST keypoints are integral, which keeps the
+        π-flip disambiguation on the exact permutation path that never
+        touches the (cropped) MIM of the flipped hypothesis.
+        """
+        cfg = self.config
+        if prior is None or not cfg.roi.enabled:
+            return None
+        if cfg.keypoint_detector != "fast":
+            return None
+        return roi_window(prior, cell_size=bv_image.cell_size,
+                          lidar_range=bv_image.lidar_range,
+                          image_size=bv_image.size, config=cfg.roi)
+
+    @staticmethod
+    def _roi_crop(bv_image: BVImage, window: RoiWindow | None) -> np.ndarray:
+        """The (contiguous) image region extraction runs on."""
+        if window is None:
+            return bv_image.image
+        r0, c0, s = window.row0, window.col0, window.size
+        return np.ascontiguousarray(bv_image.image[r0:r0 + s, c0:c0 + s])
+
+    def _finish_extract(self, bv_image: BVImage, image: np.ndarray,
+                        mim: MIMResult, window: RoiWindow | None,
+                        timer: StageTimer) -> BVFeatures:
+        """Keypoints + descriptors on an (optionally cropped) MIM.
+
+        Shared verbatim by the single and pair extraction paths, so the
+        two produce identical features for identical inputs.
+        """
         with timer("bv_extract/keypoints"):
-            keypoints = self._detect_keypoints(bv_image)
+            if window is None:
+                keypoints = self._detect_keypoints(bv_image)
+            else:
+                # _roi_window gates culling to the FAST detector.
+                keypoints = detect_fast(image, self.config.fast)
         with timer("bv_extract/descriptors"):
             descriptors = self._extractor.compute(mim, keypoints)
-        return BVFeatures(bv_image, mim, keypoints, descriptors)
+        if window is not None:
+            # Map window-local coordinates back to the full image frame;
+            # downstream matching/RANSAC/stage-2 never see the crop.
+            offset = window.offset_xy
+            keypoints = Keypoints(keypoints.xy + offset, keypoints.scores)
+            descriptors = DescriptorSet(
+                descriptors.descriptors,
+                descriptors.keypoint_xy + offset,
+                descriptors.keypoint_indices,
+                descriptors.dominant_bins)
+        return BVFeatures(bv_image, mim, keypoints, descriptors, roi=window)
+
+    def extract(self, bv_image: BVImage,
+                timer: StageTimer | None = None,
+                prior=None) -> BVFeatures:
+        """Compute MIM, keypoints and descriptors for one BV image.
+
+        ``prior`` is an optional coarse (x, y) translation of the other
+        sensor in this image's frame (meters); with ROI culling enabled
+        it crops extraction to the predicted overlap window (see
+        :mod:`repro.bev.roi`).
+        """
+        timer = timer or _no_timing
+        window = self._roi_window(bv_image, prior)
+        image = self._roi_crop(bv_image, window)
+        with timer("bv_extract/mim"):
+            mim = compute_mim(image, self.config.log_gabor,
+                              precision=self.config.stage1_precision)
+        return self._finish_extract(bv_image, image, mim, window, timer)
+
+    def extract_pair(self, bv_a: BVImage, bv_b: BVImage,
+                     timer: StageTimer | None = None,
+                     priors=(None, None)) -> tuple[BVFeatures, BVFeatures]:
+        """Extract both cars of a pair through the bank in one pass.
+
+        The two (optionally ROI-cropped) images go through the Log-Gabor
+        bank as one ``(2, S, S)`` batch, touching windows and scratch
+        once per pair.  Results are bitwise-identical to two
+        :meth:`extract` calls (batched transforms match per-image
+        transforms bit-for-bit, and the symmetric ROI sizing guarantees
+        both crops share one size); when the sizes *cannot* be batched
+        (mixed crop fallbacks or differing image sizes), the pair is
+        extracted separately, same results either way.
+        """
+        timer = timer or _no_timing
+        window_a = self._roi_window(bv_a, priors[0])
+        window_b = self._roi_window(bv_b, priors[1])
+        size_a = window_a.size if window_a is not None else bv_a.size
+        size_b = window_b.size if window_b is not None else bv_b.size
+        if size_a != size_b:
+            return (self.extract(bv_a, timer=timer, prior=priors[0]),
+                    self.extract(bv_b, timer=timer, prior=priors[1]))
+        image_a = self._roi_crop(bv_a, window_a)
+        image_b = self._roi_crop(bv_b, window_b)
+        with timer("bv_extract/mim"):
+            mims = compute_mim_batch(
+                (image_a, image_b), self.config.log_gabor,
+                precision=self.config.stage1_precision)
+        return (self._finish_extract(bv_a, image_a, mims[0], window_a, timer),
+                self._finish_extract(bv_b, image_b, mims[1], window_b, timer))
 
     def extract_from_cloud(self, cloud: PointCloud,
-                           timer: StageTimer | None = None) -> BVFeatures:
+                           timer: StageTimer | None = None,
+                           prior=None) -> BVFeatures:
         """Convenience: projection + extraction in one call."""
-        return self.extract(self.make_bv_image(cloud), timer=timer)
+        return self.extract(self.make_bv_image(cloud), timer=timer,
+                            prior=prior)
 
     # ------------------------------------------------------------------
     # Cross-vehicle matching

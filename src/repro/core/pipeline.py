@@ -164,17 +164,40 @@ class BBAlign:
 
     # ------------------------------------------------------------------
     def extract_features(self, cloud: PointCloud,
-                         timer: StageTimer | None = None) -> BVFeatures:
+                         timer: StageTimer | None = None,
+                         prior=None) -> BVFeatures:
         """Stage-1 feature extraction for one scan.
 
         This is the memoization boundary the runtime layer caches:
-        extraction is a pure function of (cloud, configuration), consumes
-        no randomness, and dominates per-pair cost.  Pair it with
-        :meth:`recover_from_features` to reuse features across sweeps.
-        The optional ``timer`` records the per-kernel ``bv_extract/*``
-        detail stages.
+        extraction is a pure function of (cloud, configuration, prior),
+        consumes no randomness, and dominates per-pair cost.  Pair it
+        with :meth:`recover_from_features` to reuse features across
+        sweeps.  The optional ``timer`` records the per-kernel
+        ``bv_extract/*`` detail stages; the optional ``prior`` (coarse
+        (x, y) translation of the partner sensor, meters) enables
+        overlap-ROI culling when ``config.roi.enabled``.
         """
-        return self.bv_matcher.extract_from_cloud(cloud, timer=timer)
+        return self.bv_matcher.extract_from_cloud(cloud, timer=timer,
+                                                  prior=prior)
+
+    def extract_features_pair(self, ego_cloud: PointCloud,
+                              other_cloud: PointCloud,
+                              timer: StageTimer | None = None,
+                              priors=(None, None),
+                              ) -> tuple[BVFeatures, BVFeatures]:
+        """Batched stage-1 extraction for both scans of a pair.
+
+        Both BV images go through the Log-Gabor bank in one batched
+        pass (see :meth:`BVMatcher.extract_pair`); results are
+        bitwise-identical to two :meth:`extract_features` calls, so the
+        feature cache can mix entries produced by either path.
+        ``priors`` optionally carries the (ego, other) coarse
+        translation priors for ROI culling.
+        """
+        ego_bv = self.bv_matcher.make_bv_image(ego_cloud)
+        other_bv = self.bv_matcher.make_bv_image(other_cloud)
+        return self.bv_matcher.extract_pair(ego_bv, other_bv, timer=timer,
+                                            priors=priors)
 
     def recover(self, ego, other=None, ego_boxes=None, other_boxes=None,
                 rng: np.random.Generator | int | None = None,
@@ -244,6 +267,12 @@ class BBAlign:
         if isinstance(ego, PointCloud) or isinstance(other, PointCloud):
             try:
                 with (timer or _no_timing)("bv_extract"):
+                    if isinstance(ego, PointCloud) \
+                            and isinstance(other, PointCloud):
+                        # Both raw: one batched bank pass (bitwise-
+                        # identical to two single extractions).
+                        ego, other = self.extract_features_pair(
+                            ego, other, timer=timer)
                     if isinstance(ego, PointCloud):
                         ego = self.extract_features(ego, timer=timer)
                     if isinstance(other, PointCloud):

@@ -154,16 +154,20 @@ def detect_fast(image: np.ndarray,
 
     padded = np.pad(image, 3, mode="constant", constant_values=0.0)
     # Pack the 16 brighter/darker flags per pixel into uint16 patterns.
+    # Masked in-place bitwise ORs keep the loop allocation-free (no
+    # per-offset bool->uint16 casts or shifted temporaries).
     packed_b = np.zeros((h, w), dtype=np.uint16)
     packed_d = np.zeros((h, w), dtype=np.uint16)
     diff = np.empty((h, w))
+    mask = np.empty((h, w), dtype=bool)
     for k, (dr, dc) in enumerate(CIRCLE_OFFSETS):
         np.subtract(padded[3 + dr:3 + dr + h, 3 + dc:3 + dc + w], image,
                     out=diff)
-        packed_b |= np.left_shift(
-            (diff > config.threshold).astype(np.uint16), k)
-        packed_d |= np.left_shift(
-            (diff < -config.threshold).astype(np.uint16), k)
+        bit = np.uint16(1 << k)
+        np.greater(diff, config.threshold, out=mask)
+        np.bitwise_or(packed_b, bit, out=packed_b, where=mask)
+        np.less(diff, -config.threshold, out=mask)
+        np.bitwise_or(packed_d, bit, out=packed_d, where=mask)
     lut = _arc_lut(config.arc_length)
     corners = lut.take(packed_b) | lut.take(packed_d)
     # Pixels whose circle leaves the image were compared against zero

@@ -159,7 +159,7 @@ def match_descriptors(src: DescriptorSet, dst: DescriptorSet,
     return MatchResult(
         src_indices=src_idx,
         dst_indices=dst_idx,
-        distances=np.linalg.norm(np.asarray(diff, dtype=float), axis=1),
+        distances=np.linalg.norm(diff, axis=1),
         src_xy=src.keypoint_xy[src_idx],
         dst_xy=dst.keypoint_xy[dst_idx],
     )

@@ -246,7 +246,9 @@ class TestDegradationLadder:
         def broken_extract(*args, **kwargs):
             raise RuntimeError("extraction exploded (test)")
 
-        monkeypatch.setattr(aligner.bv_matcher, "extract_from_cloud",
+        # make_bv_image is the seam shared by the single-cloud and the
+        # batched-pair extraction paths.
+        monkeypatch.setattr(aligner.bv_matcher, "make_bv_image",
                             broken_extract)
         result = aligner.recover(frame_pair.ego_cloud,
                                  frame_pair.other_cloud, [], [], rng=0)

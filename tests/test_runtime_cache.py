@@ -2,8 +2,16 @@
 
 from dataclasses import replace
 
+import numpy as np
+
 from repro.core.config import BBAlignConfig
-from repro.experiments.common import default_dataset, run_pose_recovery_sweep
+from repro.core.pipeline import BBAlign
+from repro.experiments.common import (
+    _features_for,
+    _features_for_pair,
+    default_dataset,
+    run_pose_recovery_sweep,
+)
 from repro.runtime.cache import (
     FeatureCache,
     dataset_fingerprint,
@@ -107,3 +115,91 @@ class TestCachedSweep:
                                 cache=False, timings=timings)
         assert timings.cache_hits == 0
         assert timings.cache_misses == 0
+
+
+def _same_features(a, b):
+    return (np.array_equal(a.keypoints.xy, b.keypoints.xy)
+            and np.array_equal(a.descriptors.descriptors,
+                               b.descriptors.descriptors)
+            and np.array_equal(a.descriptors.keypoint_indices,
+                               b.descriptors.keypoint_indices))
+
+
+class TestPairBatchedCache:
+    """Cache accounting and interchangeability under pair-batched
+    extraction (`_features_for_pair`), which batches the Log-Gabor bank
+    only when *both* roles miss and must keep per-role keys intact."""
+
+    def setup_method(self):
+        self.record = next(iter(default_dataset(1, seed=31)))
+        self.aligner = BBAlign()
+        self.ds_fp = dataset_fingerprint(DatasetConfig(seed=31))
+        self.ext_fp = extraction_fingerprint(self.aligner.config)
+
+    def _pair_features(self, cache, timings=None):
+        return _features_for_pair(self.aligner, self.record.pair,
+                                  self.record.index, cache,
+                                  self.ds_fp, self.ext_fp, timings)
+
+    def test_both_miss_then_both_hit(self):
+        cache = FeatureCache(max_entries=8)
+        timings = SweepTimings()
+        ego, other = self._pair_features(cache, timings)
+        assert timings.cache_misses == 2 and timings.cache_hits == 0
+        assert len(cache) == 2
+        warm = SweepTimings()
+        ego2, other2 = self._pair_features(cache, warm)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert ego2 is ego and other2 is other
+
+    def test_mixed_hit_miss(self):
+        """One role cached, the other not: exactly one hit and one
+        miss, and the missing role extracts to the same bits the
+        batched path produced."""
+        full = FeatureCache(max_entries=8)
+        ego, other = self._pair_features(full)
+        for present, absent, role in ((ego, other, "ego"),
+                                      (other, ego, "other")):
+            cache = FeatureCache(max_entries=8)
+            cache.put(feature_key(self.ds_fp, self.record.index, role,
+                                  self.ext_fp), present)
+            timings = SweepTimings()
+            got_ego, got_other = self._pair_features(cache, timings)
+            assert timings.cache_hits == 1
+            assert timings.cache_misses == 1
+            assert _same_features(got_ego, ego)
+            assert _same_features(got_other, other)
+            assert len(cache) == 2  # the miss was backfilled
+
+    def test_pair_and_single_entries_interchangeable(self):
+        """Entries written by the single-extraction path serve the pair
+        path bit-for-bit, and vice versa."""
+        single_cache = FeatureCache(max_entries=8)
+        ego_single = _features_for(
+            self.aligner, self.record.pair.ego_cloud, "ego",
+            self.record.index, single_cache, self.ds_fp, self.ext_fp, None)
+        other_single = _features_for(
+            self.aligner, self.record.pair.other_cloud, "other",
+            self.record.index, single_cache, self.ds_fp, self.ext_fp, None)
+        timings = SweepTimings()
+        ego, other = self._pair_features(single_cache, timings)
+        assert timings.cache_hits == 2
+        assert ego is ego_single and other is other_single
+        pair_cache = FeatureCache(max_entries=8)
+        ego_pair, other_pair = self._pair_features(pair_cache)
+        assert _same_features(ego_pair, ego_single)
+        assert _same_features(other_pair, other_single)
+
+    def test_eviction_bounds_memory_during_sweep(self):
+        """A sweep over more pairs than the cache holds stays bounded
+        and still produces the exact uncached outcomes."""
+        dataset = default_dataset(4, seed=32)
+        cache = FeatureCache(max_entries=3)
+        timings = SweepTimings()
+        bounded = run_pose_recovery_sweep(dataset, include_vips=False,
+                                          cache=cache, timings=timings)
+        assert len(cache) == 3  # 8 entries written, LRU kept 3
+        assert timings.cache_misses == 8
+        uncached = run_pose_recovery_sweep(dataset, include_vips=False,
+                                           cache=False)
+        assert bounded == uncached

@@ -4,6 +4,9 @@ Every stage-1 hot path keeps its pre-vectorization implementation as a
 ``_reference_*`` twin (see CONTRIBUTING.md).  These tests pin the
 equivalence contracts down:
 
+- BV projection: the fused binning (BLAS finite screen, in-place range
+  mask) is bit-identical to the reference height map, including the
+  non-finite rejection count.
 - Log-Gabor bank: the single-precision bank matches the float64
   reference to float32 rounding, and the per-pixel orientation argmax —
   the only thing the MIM consumes — is *identical* on valid
@@ -24,7 +27,7 @@ import pytest
 
 from repro.bev.log_gabor import LogGaborBank, LogGaborConfig
 from repro.bev.mim import compute_mim
-from repro.bev.projection import height_map
+from repro.bev.projection import _reference_height_map, height_map
 from repro.features import matching as matching_module
 from repro.features.descriptors import BvftConfig, BvftDescriptorExtractor
 from repro.features.fast import (
@@ -74,6 +77,49 @@ def mim_result(bv_image):
 @pytest.fixture(scope="module")
 def keypoints(bv_image):
     return detect_fast(bv_image.image, FastConfig())
+
+
+class TestProjectionEquivalence:
+    def assert_identical(self, cloud, **kwargs):
+        new = height_map(cloud, **kwargs)
+        ref = _reference_height_map(cloud, **kwargs)
+        assert np.array_equal(new.image, ref.image)
+        assert new.num_nonfinite == ref.num_nonfinite
+        assert new.cell_size == ref.cell_size
+        assert new.lidar_range == ref.lidar_range
+
+    def test_structured_cloud(self):
+        cloud = structured_cloud(np.random.default_rng(17))
+        self.assert_identical(cloud, cell_size=0.4, lidar_range=51.2)
+
+    def test_random_clouds(self):
+        rng = np.random.default_rng(29)
+        for _ in range(4):
+            pts = rng.uniform(-80, 80, (3000, 3))
+            self.assert_identical(PointCloud(pts), cell_size=0.8,
+                                  lidar_range=60.0)
+
+    def test_nonfinite_and_overflow_rows(self):
+        """NaN/inf coordinates and a finite row whose coordinate sum
+        overflows to inf — the exact cases where the BLAS finite screen
+        could diverge from the elementwise reference."""
+        rng = np.random.default_rng(31)
+        pts = rng.uniform(-40, 40, (200, 3))
+        pts[3, 0] = np.nan
+        pts[7, 2] = np.inf
+        pts[11, 1] = -np.inf
+        pts[20] = [np.inf, -np.inf, 0.0]
+        pts[25] = [1e308, 1e308, 1.0]   # finite, sum overflows
+        pts[26] = [-1e308, -1e308, 2.0]
+        self.assert_identical(PointCloud(pts), cell_size=0.8,
+                              lidar_range=60.0)
+
+    def test_height_clamps(self):
+        cloud = structured_cloud(np.random.default_rng(5))
+        self.assert_identical(cloud, cell_size=0.4, lidar_range=51.2,
+                              min_height=0.5, max_height=None)
+        self.assert_identical(cloud, cell_size=0.4, lidar_range=51.2,
+                              max_height=3.0)
 
 
 class TestLogGaborBankEquivalence:

@@ -37,15 +37,19 @@ import pathlib
 import sys
 from typing import Iterator
 
-DEFAULT_BASELINES = pathlib.Path("benchmarks/results/baselines")
+# Anchored to the repository (this file's parent's parent), not the
+# caller's cwd, so `python tools/check_bench.py` works from anywhere.
+DEFAULT_BASELINES = (pathlib.Path(__file__).resolve().parent.parent
+                     / "benchmarks" / "results" / "baselines")
 DEFAULT_MAX_SLOWDOWN = 1.5
 
 #: Keys whose values never gate: schema bookkeeping and the strictness
 #: flag the bench suites echo from their own environment.
 IGNORED_KEYS = {"schema_version", "strict"}
 
-#: Dicts whose children are all per-stage timings.
-TIMING_SUBTREES = {"stages_before_s", "stages_after_s"}
+#: Dicts whose children are all per-stage timings (speedup leaves under
+#: ``stage_speedups`` are timing ratios, not deterministic metrics).
+TIMING_SUBTREES = {"stages_before_s", "stages_after_s", "stage_speedups"}
 
 
 def _is_timing_key(key: str) -> bool:
