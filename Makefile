@@ -35,10 +35,11 @@ bench-report:
 bench-check:
 	$(PYTHON) -m pytest benchmarks/test_stage1_kernels.py \
 		benchmarks/test_sim_kernels.py benchmarks/test_comms_bench.py \
-		-x -q -s
+		benchmarks/test_service_soak.py -x -q -s
 	$(PYTHON) tools/check_bench.py benchmarks/results/BENCH_stage1.json \
 		benchmarks/results/BENCH_pipeline.json \
-		benchmarks/results/BENCH_comms.json
+		benchmarks/results/BENCH_comms.json \
+		benchmarks/results/BENCH_service.json
 
 # Accept the current BENCH_*.json outputs as the new baselines.  Run
 # the benchmarks first (make bench-check), eyeball the drift, then
@@ -48,6 +49,7 @@ bench-baseline:
 	cp benchmarks/results/BENCH_stage1.json \
 		benchmarks/results/BENCH_pipeline.json \
 		benchmarks/results/BENCH_comms.json \
+		benchmarks/results/BENCH_service.json \
 		benchmarks/results/baselines/
 
 examples:

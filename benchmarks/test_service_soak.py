@@ -1,0 +1,208 @@
+"""Bench: the always-on pose service — clean-path parity + chaos soak.
+
+Writes ``benchmarks/results/BENCH_service.json`` for the
+``tools/check_bench.py`` regression gate.  Two legs:
+
+* **Clean-path parity** — the service answers the full benchmark sweep
+  (same 40 pairs, same seeds) and every pose must be *byte-identical*
+  to the direct ``run_pose_recovery_sweep`` outcome.  The service adds
+  transport, batching and supervision around the engine's chunk runner
+  — never arithmetic.
+* **Chaos soak** — a closed-loop load run (80 requests, 6 virtual
+  clients) while injected faults kill two workers, hang a third past
+  the batch timeout, and make one pair evaluation raise.  The contract
+  under fire: every admitted request gets a typed response, zero
+  unhandled errors, and the restart counter equals the injected pool
+  faults — supervision is exact, not best-effort.
+
+Deterministic fields (response/success/status counts, restart
+accounting, parity) gate exactly; ``*_s``/``*_ms`` latencies,
+``sustained_rps`` throughput and the ``peak_rss_mb`` memory ceiling
+gate as ratio budgets (strict in the nightly soak leg).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import resource
+import time
+
+from repro.comms.envelope import ServiceRequest
+from repro.runtime.faults import WorkerFault
+from repro.runtime.retry import RetryPolicy
+from repro.service import PoseService, ServiceConfig, run_load
+from repro.simulation.dataset import DatasetConfig
+
+SWEEP_PAIRS = 40
+SWEEP_SEED = 2024
+WORKERS = 2
+
+#: Fault plan for the soak.  Faults fire on the *dataset pair index*
+#: (so only during the first of the two request cycles), and the
+#: indices are >= 10 apart: a micro-batch holds at most ``batch_size``
+#: (4) requests drawn from the <= 6 outstanding closed-loop requests,
+#: so no two faults can land in one batch (a kill retry would silently
+#: swallow a co-batched raise) and no two pool faults overlap in
+#: flight (a kill's restart would reap a concurrently hung worker
+#: before its timeout counted it).  The hang comes last for the same
+#: reason.  Each fires exactly once.
+KILL_AT = (2, 13)
+RAISE_AT = (24,)
+HANG_AT = (35,)
+
+#: One hang (2 s timeout) + three restarts + jittered retries all fit
+#: inside a typical soak second; four attempts give even a
+#: cancelled-then-killed batch headroom to finish clean.
+SOAK_RETRY = RetryPolicy(attempts=4, base_delay=0.05, multiplier=2.0,
+                         max_delay=0.5, jitter=0.5)
+
+_REPORT: dict = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class MixedFault:
+    """Kills, hangs and raises at disjoint indices, each fire-once.
+
+    Duck-typed like :class:`WorkerFault` (the engine only calls
+    ``maybe_fire``); delegates each kind to a real ``WorkerFault`` so
+    the claim-by-sentinel protocol is shared.
+    """
+
+    kills: tuple[int, ...]
+    hangs: tuple[int, ...]
+    raise_at: tuple[int, ...]
+    once_dir: str
+    hang_seconds: float = 4.0
+
+    def maybe_fire(self, index: int) -> None:
+        for kind, indices in (("kill", self.kills), ("hang", self.hangs),
+                              ("raise", self.raise_at)):
+            if index in indices:
+                WorkerFault(kind=kind, indices=indices,
+                            once_dir=self.once_dir,
+                            hang_seconds=self.hang_seconds
+                            ).maybe_fire(index)
+
+
+def _service_config(**overrides) -> ServiceConfig:
+    base = dict(
+        dataset_config=DatasetConfig(num_pairs=SWEEP_PAIRS,
+                                     seed=SWEEP_SEED),
+        include_vips=True,  # match the session sweep's configuration
+        workers=WORKERS, queue_limit=64, batch_size=4,
+        heartbeat_interval=0.1)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+def test_service_clean_path_parity(sweep_outcomes):
+    """Every service answer is byte-identical to the sweep's outcome."""
+    async def scenario():
+        async with PoseService(_service_config()) as service:
+            futures = [service.submit_nowait(
+                ServiceRequest(request_id=index + 1, index=index))
+                for index in range(SWEEP_PAIRS)]
+            return await asyncio.gather(*futures)
+
+    start = time.perf_counter()
+    responses = asyncio.run(asyncio.wait_for(scenario(), timeout=600))
+    parity_seconds = time.perf_counter() - start
+
+    mismatches = 0
+    for outcome, response in zip(sweep_outcomes, responses):
+        identical = (response.status == "ok"
+                     and response.tx == outcome.tx
+                     and response.ty == outcome.ty
+                     and response.theta == outcome.theta
+                     and response.success == outcome.success
+                     and response.degradation == outcome.degradation
+                     and response.failure_reason == outcome.failure_reason
+                     and response.inliers_bv == outcome.inliers_bv
+                     and response.inliers_box == outcome.inliers_box)
+        mismatches += not identical
+    assert mismatches == 0
+
+    _REPORT["parity"] = {
+        "pairs": SWEEP_PAIRS,
+        "identical": mismatches == 0,
+        "parity_s": round(parity_seconds, 3),
+    }
+
+
+def test_service_chaos_soak(tmp_path, results_dir):
+    """Sustained load under injected kills, a hang, and a raise."""
+    fault = MixedFault(kills=KILL_AT, hangs=HANG_AT, raise_at=RAISE_AT,
+                       once_dir=str(tmp_path))
+    config = _service_config(include_vips=False, batch_timeout=2.0,
+                             retry=SOAK_RETRY, fault=fault)
+
+    async def scenario():
+        async with PoseService(config) as service:
+            summary = await run_load(service.submit, requests=80,
+                                     concurrency=6,
+                                     num_pairs=SWEEP_PAIRS)
+            snapshot = service.registry.snapshot().get("counters", {})
+            stats = {key.removeprefix("service/"): value
+                     for key, value in snapshot.items()
+                     if key.startswith("service/")}
+            return summary, stats
+
+    summary, stats = asyncio.run(
+        asyncio.wait_for(scenario(), timeout=600))
+
+    # The robustness contract, exactly.
+    assert summary.errors == 0
+    assert summary.attempted == 80
+    assert summary.responded == 80
+    assert summary.rejected == 0
+    assert summary.statuses == {"ok": 80}
+    injected_pool_faults = len(KILL_AT) + len(HANG_AT)
+    assert stats["worker_restarts"] == injected_pool_faults
+    assert stats["hangs"] == len(HANG_AT)
+    assert stats.get("exhausted", 0) == 0
+    assert stats.get("internal_errors", 0) == 0
+    # The raise reaches the caller as a typed failed response (status
+    # still "ok" transport-wise, success False), never an exception —
+    # the exact success/degradation tallies are seeded and gate
+    # against the committed baseline.
+
+    rss_kib = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+                  resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    report = {
+        "schema_version": 1,
+        "config": {
+            "num_pairs": SWEEP_PAIRS,
+            "seed": SWEEP_SEED,
+            "workers": WORKERS,
+            "batch_size": config.batch_size,
+            "requests": 80,
+            "concurrency": 6,
+            "injected_kills": len(KILL_AT),
+            "injected_hangs": len(HANG_AT),
+            "injected_raises": len(RAISE_AT),
+            "strict": os.environ.get("REPRO_BENCH_STRICT") == "1",
+        },
+        "parity": _REPORT.get("parity",
+                              {"pairs": 0, "identical": False,
+                               "parity_s": 0.0}),
+        "soak": summary.to_dict(),
+        "supervision": {
+            "worker_restarts": stats["worker_restarts"],
+            "hangs": stats["hangs"],
+            "exhausted": stats.get("exhausted", 0),
+            "internal_errors": stats.get("internal_errors", 0),
+        },
+        "checks": {
+            "all_answered": summary.responded == summary.attempted,
+            "zero_unhandled": summary.errors == 0,
+            "restarts_equal_injected_faults":
+                stats["worker_restarts"] == injected_pool_faults,
+        },
+        "peak_rss_mb": round(rss_kib / 1024.0, 1),
+    }
+    (results_dir / "BENCH_service.json").write_text(
+        json.dumps(report, indent=2) + "\n")
+    print("\nservice soak: " + summary.format())

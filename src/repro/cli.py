@@ -19,6 +19,22 @@ spans and metrics as JSON lines (see ``docs/api.md`` for the schema;
 with ``all``, one file per experiment via a ``-<name>`` suffix), and
 ``--profile [N]`` runs the experiment under :mod:`cProfile` and appends
 the top N functions by cumulative time (default 25).
+
+Two non-experiment subcommands expose the always-on pose service
+(:mod:`repro.service`)::
+
+    python -m repro serve --port 9000 --workers 2
+    python -m repro service-load --port 9000 --requests 200
+    python -m repro service-load --standalone --requests 50 --json out.json
+
+``serve`` runs :class:`~repro.service.core.PoseService` behind the TCP
+transport until SIGTERM/SIGINT, then drains gracefully (every admitted
+request gets its real response before the pool closes).  ``--chaos
+KIND:IDX[,IDX...]`` injects a fire-once worker fault — the lever the CI
+smoke uses to prove a killed worker is restarted mid-serve.
+``service-load`` is the closed-loop load client; ``--standalone`` runs
+service and load in one process (no TCP) and ``--json`` writes the
+:class:`~repro.service.load.LoadSummary` for the benchmark gate.
 """
 
 from __future__ import annotations
@@ -75,6 +91,61 @@ def build_parser() -> argparse.ArgumentParser:
             spec.cli_options(spec_parser)
     sub.add_parser("all", parents=[common],
                    help="run every experiment in sequence")
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on pose service over TCP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port; 0 binds an ephemeral port "
+                            "(the bound port is printed)")
+    serve.add_argument("--pairs", type=int, default=40,
+                       help="dataset pairs indexed requests resolve "
+                            "against (default 40)")
+    serve.add_argument("--seed", type=int, default=2024,
+                       help="dataset seed (default 2024)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="pool processes (default 2)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="bounded admission queue depth (default 32)")
+    serve.add_argument("--batch-size", type=int, default=4,
+                       help="max requests per worker dispatch (default 4)")
+    serve.add_argument("--batch-timeout", type=float, default=30.0,
+                       help="seconds before a batch counts as hung "
+                            "(default 30)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in seconds "
+                            "(default: none)")
+    serve.add_argument("--chaos", default=None, metavar="KIND:IDX[,IDX...]",
+                       help="inject a fire-once worker fault "
+                            "(kill/hang/raise) at the given pair indices")
+    serve.add_argument("--hang-seconds", type=float, default=6.0,
+                       help="stall duration of an injected hang fault")
+
+    load = sub.add_parser(
+        "service-load",
+        help="closed-loop load client for the pose service")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=None,
+                      help="port of a running `repro serve`")
+    load.add_argument("--standalone", action="store_true",
+                      help="run an in-process service instead of "
+                           "connecting over TCP")
+    load.add_argument("--requests", type=int, default=40,
+                      help="total requests to attempt (default 40)")
+    load.add_argument("--concurrency", type=int, default=4,
+                      help="simultaneous virtual clients (default 4)")
+    load.add_argument("--pairs", type=int, default=40,
+                      help="indexed requests cycle 0..pairs-1 "
+                           "(default 40)")
+    load.add_argument("--seed", type=int, default=2024,
+                      help="dataset seed for --standalone (default 2024)")
+    load.add_argument("--workers", type=int, default=2,
+                      help="pool processes for --standalone (default 2)")
+    load.add_argument("--deadline-ms", type=int, default=0,
+                      help="per-request deadline in ms (0 = none)")
+    load.add_argument("--json", type=pathlib.Path, default=None,
+                      metavar="PATH",
+                      help="also write the summary as JSON")
     return parser
 
 
@@ -130,8 +201,116 @@ def _run_one(name: str, pairs: int, seed: int, workers: int,
     return text
 
 
+def _parse_fault(spec: str, hang_seconds: float):
+    """``KIND:IDX[,IDX...]`` → a fire-once :class:`WorkerFault`."""
+    import tempfile
+
+    from repro.runtime.faults import WorkerFault
+    kind, _, raw = spec.partition(":")
+    try:
+        indices = tuple(int(part) for part in raw.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"--chaos expects KIND:IDX[,IDX...], got {spec!r}") from None
+    return WorkerFault(kind=kind, indices=indices,
+                       once_dir=tempfile.mkdtemp(prefix="repro-chaos-"),
+                       hang_seconds=hang_seconds)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import PoseService, ServiceConfig, ServiceServer
+    from repro.simulation.dataset import DatasetConfig
+
+    fault = (_parse_fault(args.chaos, args.hang_seconds)
+             if args.chaos is not None else None)
+    config = ServiceConfig(
+        dataset_config=DatasetConfig(num_pairs=args.pairs, seed=args.seed),
+        workers=args.workers, queue_limit=args.queue_limit,
+        batch_size=args.batch_size, batch_timeout=args.batch_timeout,
+        default_deadline=args.deadline, fault=fault)
+
+    async def run() -> None:
+        service = PoseService(config)
+        await service.start()
+        server = ServiceServer(service, args.host, args.port)
+        await server.start()
+        print(f"pose service listening on {server.host}:{server.port} "
+              f"({config.workers} workers, queue {config.queue_limit})",
+              flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        # Graceful drain: close the listener first, then let queued and
+        # in-flight requests run to their real responses.
+        print("draining ...", flush=True)
+        await server.stop()
+        await service.stop()
+        counters = service.registry.snapshot().get("counters", {})
+        print("drained; " + " ".join(
+            f"{key.removeprefix('service/')}={value}"
+            for key, value in sorted(counters.items())
+            if key.startswith("service/")), flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_service_load(args) -> int:
+    import asyncio
+    import json
+
+    from repro.service import (
+        PoseService,
+        ServiceClient,
+        ServiceConfig,
+        run_load,
+    )
+    from repro.simulation.dataset import DatasetConfig
+
+    async def run():
+        if args.standalone:
+            config = ServiceConfig(
+                dataset_config=DatasetConfig(num_pairs=args.pairs,
+                                             seed=args.seed),
+                workers=args.workers)
+            async with PoseService(config) as service:
+                return await run_load(
+                    service.submit, requests=args.requests,
+                    concurrency=args.concurrency, num_pairs=args.pairs,
+                    deadline_ms=args.deadline_ms)
+        if args.port is None:
+            raise SystemExit("service-load needs --port (or --standalone)")
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            return await run_load(
+                client.request, requests=args.requests,
+                concurrency=args.concurrency, num_pairs=args.pairs,
+                deadline_ms=args.deadline_ms)
+        finally:
+            await client.close()
+
+    summary = asyncio.run(run())
+    print(summary.format())
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(summary.to_dict(), indent=2)
+                             + "\n")
+    # Unhandled errors are the one thing the load client must never
+    # see — the exit code is the soak contract in miniature.
+    return 0 if summary.errors == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "service-load":
+        return _cmd_service_load(args)
     if args.command == "list":
         specs = all_specs()
         width = max(len(spec.name) for spec in specs)

@@ -28,6 +28,13 @@ from repro.comms.codec import (
     encode_bv_image,
     encode_boxes,
 )
+from repro.comms.envelope import (
+    ServiceRequest,
+    ServiceResponse,
+    decode_request,
+    decode_response,
+    sniff_envelope,
+)
 from repro.comms.message import V2VMessage
 from repro.comms.policy import TIER_LADDER, AdaptiveTierPolicy
 from repro.comms.tiers import (
@@ -48,6 +55,8 @@ __all__ = [
     "Delivery",
     "KeypointPayload",
     "LossyChannel",
+    "ServiceRequest",
+    "ServiceResponse",
     "TIER_LADDER",
     "Tier",
     "TierCodecConfig",
@@ -57,10 +66,13 @@ __all__ = [
     "decode_boxes",
     "decode_bv_image",
     "decode_message",
+    "decode_request",
+    "decode_response",
     "encode_boxes",
     "encode_bv_image",
     "encode_message",
     "record_received",
     "record_sent",
+    "sniff_envelope",
     "sniff_tier",
 ]

@@ -72,6 +72,13 @@ class PairOutcome:
         raw_cloud_bytes: cost of shipping the raw other-car scan instead.
         vips_success: the graph-matching baseline found a pose.
         vips_errors: baseline errors (None when it failed).
+        tx / ty / theta: the recovered planar pose itself (what the
+            pose service ships back over the wire; the figure modules
+            only consume the derived errors above).
+        degradation: which fallback-ladder rung produced the pose
+            (:class:`~repro.core.degradation.DegradationLevel` value).
+        failure_reason: taxonomy tag when the success criterion was
+            missed; ``None`` exactly when ``success`` is ``True``.
     """
 
     index: int
@@ -89,6 +96,11 @@ class PairOutcome:
     raw_cloud_bytes: int
     vips_success: bool
     vips_errors: PoseErrors | None
+    tx: float = 0.0
+    ty: float = 0.0
+    theta: float = 0.0
+    degradation: str = "full"
+    failure_reason: str | None = None
 
 
 @dataclass(frozen=True)
@@ -314,6 +326,12 @@ def evaluate_pair(record, aligner: BBAlign, detector: SimulatedDetector,
         raw_cloud_bytes=BBAlign.raw_cloud_bytes(pair.other_cloud),
         vips_success=vips_success,
         vips_errors=vips_err,
+        tx=result.transform.tx,
+        ty=result.transform.ty,
+        theta=result.transform.theta,
+        degradation=result.degradation.value,
+        failure_reason=(result.failure_reason.value
+                        if result.failure_reason is not None else None),
     )
 
 

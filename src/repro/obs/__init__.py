@@ -27,10 +27,12 @@ report formats them.
 from repro.obs.export import EVENT_SCHEMA_VERSION, JsonlExporter, trace_session
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     active_registry,
     counter,
+    gauge,
     histogram,
     use_registry,
 )
@@ -45,6 +47,7 @@ from repro.obs.spans import (
 __all__ = [
     "Counter",
     "EVENT_SCHEMA_VERSION",
+    "Gauge",
     "Histogram",
     "JsonlExporter",
     "MetricsRegistry",
@@ -54,6 +57,7 @@ __all__ = [
     "active_registry",
     "collect_spans",
     "counter",
+    "gauge",
     "histogram",
     "span",
     "trace_session",

@@ -29,10 +29,12 @@ from typing import Iterator, Mapping
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "active_registry",
     "counter",
+    "gauge",
     "histogram",
     "use_registry",
 ]
@@ -92,6 +94,44 @@ class Histogram:
                 f"total={self.total:.6f})")
 
 
+class Gauge:
+    """A point-in-time level with a high-water mark.
+
+    Built for the service's queue-depth and in-flight instruments:
+    ``value`` is the current level, ``high_water`` the largest level
+    ever held.  Under :meth:`MetricsRegistry.merge_snapshot` the value
+    *adds* (and subtracts under ``sign=-1``), matching the additive
+    semantics of levels that are partitioned across contributors — two
+    workers each holding 3 in-flight requests merge to 6 — and making
+    merge/un-merge exact, which the chunk-keyed dedupe ladder requires.
+    ``high_water`` only ever widens (like histogram extremes): a
+    re-merge cannot shrink it, so it survives the subtract-then-re-add
+    cycle unadjusted.
+    """
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = float(value)
+        self.high_water = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self.value > self.high_water:
+            self.high_water = self.value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Gauge({self.name!r}, {self.value}, "
+                f"high_water={self.high_water})")
+
+
 class _NoopCounter(Counter):
     """Shared sink for updates recorded while no registry is active."""
 
@@ -108,8 +148,16 @@ class _NoopHistogram(Histogram):
         return None
 
 
+class _NoopGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        return None
+
+
 _NOOP_COUNTER = _NoopCounter("noop")
 _NOOP_HISTOGRAM = _NoopHistogram("noop")
+_NOOP_GAUGE = _NoopGauge("noop")
 
 
 class MetricsRegistry:
@@ -121,11 +169,12 @@ class MetricsRegistry:
     registry.
     """
 
-    __slots__ = ("counters", "histograms")
+    __slots__ = ("counters", "histograms", "gauges")
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}
         self.histograms: dict[str, Histogram] = {}
+        self.gauges: dict[str, Gauge] = {}
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -138,6 +187,12 @@ class MetricsRegistry:
         instrument = self.histograms.get(name)
         if instrument is None:
             instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
         return instrument
 
     # ------------------------------------------------------------------
@@ -160,6 +215,10 @@ class MetricsRegistry:
                 }
                 for name, h in self.histograms.items()
             },
+            "gauges": {
+                name: {"value": g.value, "high_water": g.high_water}
+                for name, g in self.gauges.items()
+            },
         }
 
     def merge_snapshot(self, snapshot: Mapping, sign: int = 1) -> None:
@@ -181,6 +240,14 @@ class MetricsRegistry:
                     h.min = data["min"]
                 if data["max"] is not None and data["max"] > h.max:
                     h.max = data["max"]
+        for name, data in snapshot.get("gauges", {}).items():
+            g = self.gauge(name)
+            g.value += sign * data["value"]
+            if sign > 0:
+                if g.value > g.high_water:
+                    g.high_water = g.value
+                if data["high_water"] > g.high_water:
+                    g.high_water = data["high_water"]
 
     def merge(self, other: "MetricsRegistry") -> None:
         self.merge_snapshot(other.snapshot())
@@ -225,3 +292,11 @@ def histogram(name: str) -> Histogram:
     if registry is None:
         return _NOOP_HISTOGRAM
     return registry.histogram(name)
+
+
+def gauge(name: str) -> Gauge:
+    """The active registry's gauge ``name`` (no-op when disabled)."""
+    registry = _ACTIVE.get()
+    if registry is None:
+        return _NOOP_GAUGE
+    return registry.gauge(name)

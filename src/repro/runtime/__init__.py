@@ -7,8 +7,17 @@ reproduction; this package makes it a schedulable, measurable unit:
   chunked scheduling and deterministic result ordering; failed chunks
   are retried on a fresh pool, then run serially, and a pool that never
   starts falls back to in-process execution;
+* :mod:`repro.runtime.pool` — :class:`WorkerPool`, the supervisable
+  process pool underneath both the engine and the always-on service:
+  lazy start, liveness probes, generation-guarded restart, worker-side
+  signal hygiene (inherited wakeup fds and handlers are detached so a
+  pool worker's death can never echo a signal back into the parent's
+  event loop);
+* :mod:`repro.runtime.retry` — :class:`RetryPolicy`, the seeded
+  jittered-exponential-backoff schedule shared by the engine's chunk
+  ladder and the service's batch ladder;
 * :mod:`repro.runtime.faults` — deterministic, picklable fault
-  injection (:class:`WorkerFault`) for exercising that retry ladder;
+  injection (:class:`WorkerFault`) for exercising those retry ladders;
 * :mod:`repro.runtime.cache` — keyed LRU cache for stage-1
   :class:`~repro.core.bv_matching.BVFeatures`, so sweeps revisiting the
   same frame pairs skip re-extraction;
@@ -32,6 +41,8 @@ from repro.runtime.engine import (
     shutdown_pool,
 )
 from repro.runtime.faults import InjectedFault, WorkerFault
+from repro.runtime.pool import WorkerPool
+from repro.runtime.retry import ENGINE_DEFAULT, SERVICE_DEFAULT, RetryPolicy
 from repro.runtime.timings import (
     STAGES,
     SweepTimings,
@@ -41,12 +52,16 @@ from repro.runtime.timings import (
 )
 
 __all__ = [
+    "ENGINE_DEFAULT",
     "FeatureCache",
     "InjectedFault",
     "PoolUnavailableError",
+    "RetryPolicy",
+    "SERVICE_DEFAULT",
     "STAGES",
     "SweepTimings",
     "WorkerFault",
+    "WorkerPool",
     "active_timings",
     "chunk_indices",
     "collect_timings",

@@ -41,6 +41,12 @@ Design notes:
   process support, pool creation refused) still raises
   :class:`PoolUnavailableError`; ``run_pose_recovery_sweep`` catches it
   and falls back to in-process serial execution.
+* **Shared mechanics**: pool lifecycle (lazy start, restart, idempotent
+  shutdown) lives in :class:`repro.runtime.pool.WorkerPool` and retry
+  *scheduling* in :class:`repro.runtime.retry.RetryPolicy` — both
+  shared with the always-on :mod:`repro.service`.  The engine's default
+  policy (:data:`repro.runtime.retry.ENGINE_DEFAULT`) reproduces the
+  historical ladder exactly: one immediate retry, then serial.
 """
 
 from __future__ import annotations
@@ -48,10 +54,11 @@ from __future__ import annotations
 import atexit
 import contextlib
 import math
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+
+import numpy as np
 
 from repro.baselines.vips import VipsConfig
 from repro.core.config import BBAlignConfig
@@ -64,26 +71,17 @@ from repro.runtime.cache import (
     get_default_cache,
 )
 from repro.runtime.faults import WorkerFault
+from repro.runtime.pool import (
+    PoolUnavailableError,
+    WorkerPool,
+    resolve_workers,
+)
+from repro.runtime.retry import ENGINE_DEFAULT, RetryPolicy
 from repro.runtime.timings import SweepTimings, stage
 from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
 
 __all__ = ["PoolUnavailableError", "resolve_workers", "chunk_indices",
            "run_sweep_parallel", "shutdown_pool"]
-
-
-class PoolUnavailableError(RuntimeError):
-    """Raised when parallel execution cannot run; callers go serial."""
-
-
-def resolve_workers(workers: int | None) -> int:
-    """Map the user-facing worker count to an effective one.
-
-    ``None`` or ``0`` (the CLI's ``--workers 0``) selects the host CPU
-    count; anything else passes through.
-    """
-    if workers is None or workers <= 0:
-        return os.cpu_count() or 1
-    return int(workers)
 
 
 def chunk_indices(num_items: int, workers: int,
@@ -211,28 +209,27 @@ def _run_chunk(task: _ChunkTask) -> tuple[int, list, dict]:
 
 
 # ----------------------------------------------------------------------
-# Parent side.
+# Parent side.  The engine keeps one module-global WorkerPool so worker
+# processes retain their per-process feature caches across sweeps; the
+# lifecycle mechanics live in repro.runtime.pool, shared with the
+# service.
 # ----------------------------------------------------------------------
-_POOL: ProcessPoolExecutor | None = None
-_POOL_WORKERS: int = 0
+_POOL: WorkerPool | None = None
 
 
 def _get_pool(workers: int) -> ProcessPoolExecutor:
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None and _POOL_WORKERS == workers:
-        return _POOL
-    shutdown_pool()
-    try:
-        pool = ProcessPoolExecutor(max_workers=workers)
-    except (OSError, ValueError, NotImplementedError) as error:
-        raise PoolUnavailableError(f"cannot start process pool: {error}") \
-            from error
-    _POOL, _POOL_WORKERS = pool, workers
-    return pool
+    global _POOL
+    if _POOL is None or _POOL.workers != workers:
+        shutdown_pool()
+        _POOL = WorkerPool(workers)
+    return _POOL.executor()
 
 
 def shutdown_pool(wait: bool = True, cancel_futures: bool = False) -> None:
     """Tear down the shared pool (tests; failure recovery; exit).
+
+    Idempotent: a second invocation (or one with no pool running) is a
+    no-op.
 
     Args:
         wait: block until workers exit.  The failure-recovery path and
@@ -242,11 +239,10 @@ def shutdown_pool(wait: bool = True, cancel_futures: bool = False) -> None:
             fallback never races chunks still draining out of a
             half-broken pool.
     """
-    global _POOL, _POOL_WORKERS
+    global _POOL
     if _POOL is not None:
         _POOL.shutdown(wait=wait, cancel_futures=cancel_futures)
         _POOL = None
-        _POOL_WORKERS = 0
 
 
 def _shutdown_pool_at_exit() -> None:
@@ -320,7 +316,8 @@ def run_sweep_parallel(
         chunk_size: int | None = None,
         timings: SweepTimings | None = None,
         chunk_timeout: float | None = None,
-        fault: WorkerFault | None = None):
+        fault: WorkerFault | None = None,
+        retry: RetryPolicy | None = None):
     """Run the pose-recovery sweep on a process pool.
 
     Returns the same outcome list (same ordering, same values) the
@@ -336,10 +333,15 @@ def run_sweep_parallel(
     parent-side ``engine/sweep`` span.
 
     Chunk failures degrade, they don't abort: a failed chunk is
-    resubmitted once to a restarted pool (outstanding futures cancelled
-    first), then run serially in-process.  ``chunk_timeout`` bounds each
-    chunk's wall time on the pool; ``fault`` injects a
-    :class:`~repro.runtime.faults.WorkerFault` for robustness testing.
+    resubmitted to a restarted pool (outstanding futures cancelled
+    first) per ``retry`` — the default policy
+    (:data:`~repro.runtime.retry.ENGINE_DEFAULT`) retries once with no
+    backoff, reproducing the historical ladder — then run serially
+    in-process.  Retry jitter draws from a generator seeded by
+    ``[seed, 0x52]`` so backoff schedules are reproducible.
+    ``chunk_timeout`` bounds each chunk's wall time on the pool;
+    ``fault`` injects a :class:`~repro.runtime.faults.WorkerFault` for
+    robustness testing.
 
     Raises:
         PoolUnavailableError: the pool could not start at all; the
@@ -364,29 +366,38 @@ def run_sweep_parallel(
         merged.registry.counter("engine/chunks").inc(len(chunks))
         failed = _collect_chunks(pool, tasks, per_chunk, merged,
                                  chunk_timeout)
-        if failed:
-            # Retry the failures once on a fresh pool.  Cancel anything
-            # still queued and tear the old pool down without waiting, so
-            # the retry (and a possible serial fallback) never races
+        policy = retry if retry is not None else ENGINE_DEFAULT
+        retry_rng = np.random.default_rng([seed, 0x52])
+        attempt = 0
+        for delay in policy.delays(retry_rng):
+            if not failed:
+                break
+            # Retry the failures on a fresh pool.  Cancel anything
+            # still queued and tear the old pool down without waiting,
+            # so the retry (and a possible serial fallback) never races
             # chunks still running in half-broken workers.
+            attempt += 1
             shutdown_pool(wait=False, cancel_futures=True)
             merged.registry.counter("engine/chunk_retries").inc(len(failed))
-            retry_tasks = [replace(task, attempt=1) for task, _ in failed]
+            if delay > 0:
+                time.sleep(delay)
+            retry_tasks = [replace(task, attempt=attempt)
+                           for task, _ in failed]
             try:
                 pool = _get_pool(workers)
                 failed = _collect_chunks(pool, retry_tasks, per_chunk,
                                          merged, chunk_timeout)
             except PoolUnavailableError:
-                failed = [(replace(task, attempt=1), error)
+                failed = [(replace(task, attempt=attempt), error)
                           for task, error in failed]
-            if failed:
-                shutdown_pool(wait=False, cancel_futures=True)
-            for task, _error in failed:
-                merged.registry.counter("engine/serial_fallbacks").inc()
-                first_index, outcomes, telemetry = _run_chunk_serially(
-                    replace(task, attempt=2))
-                per_chunk[first_index] = (outcomes, telemetry)
-                merged.merge_chunk(first_index, telemetry["snapshot"])
+        if failed:
+            shutdown_pool(wait=False, cancel_futures=True)
+        for task, _error in failed:
+            merged.registry.counter("engine/serial_fallbacks").inc()
+            first_index, outcomes, telemetry = _run_chunk_serially(
+                replace(task, attempt=attempt + 1))
+            per_chunk[first_index] = (outcomes, telemetry)
+            merged.merge_chunk(first_index, telemetry["snapshot"])
 
         ordered = []
         for first_index in sorted(per_chunk):

@@ -203,6 +203,8 @@ class SweepTimings:
             "counters": dict(snapshot.get("counters", {})),
             "histograms": {name: dict(data) for name, data in
                            snapshot.get("histograms", {}).items()},
+            "gauges": {name: dict(data) for name, data in
+                       snapshot.get("gauges", {}).items()},
             "deliveries": (previous["deliveries"] if previous else 0) + 1,
         }
         self._chunks[chunk_key] = stored

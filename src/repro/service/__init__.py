@@ -1,0 +1,47 @@
+"""The always-on pose-recovery service.
+
+BB-Align's deployment story is not a batch sweep — it is a vehicle (or
+edge node) answering pose-recovery requests continuously, under load,
+while workers crash and hang.  This package is that service:
+
+* :mod:`repro.service.core` — :class:`PoseService`: bounded admission
+  (typed :class:`ServiceOverloaded` rejection), micro-batching over the
+  warm :class:`~repro.runtime.pool.WorkerPool`, per-request deadlines,
+  jittered-backoff retry on worker faults, and a supervisor that
+  heartbeats and restarts workers.  The robustness contract: an
+  admitted request *always* gets a response.
+* :mod:`repro.service.config` — :class:`ServiceConfig` and the typed
+  error surface.
+* :mod:`repro.service.worker` — worker-side batch units; indexed
+  requests run the sweep engine's own chunk runner, so service answers
+  are byte-identical to sweep outcomes.
+* :mod:`repro.service.server` — the length-prefixed TCP transport
+  (:class:`ServiceServer` / :class:`ServiceClient`) speaking
+  :mod:`repro.comms.envelope` frames.
+* :mod:`repro.service.load` — the closed-loop load generator behind
+  ``repro service-load`` and the chaos-soak benchmark.
+"""
+
+from repro.service.config import (
+    ServiceClosed,
+    ServiceConfig,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceUnsupported,
+)
+from repro.service.core import PoseService
+from repro.service.load import LoadSummary, run_load
+from repro.service.server import ServiceClient, ServiceServer
+
+__all__ = [
+    "LoadSummary",
+    "PoseService",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceServer",
+    "ServiceUnsupported",
+    "run_load",
+]

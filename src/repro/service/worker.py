@@ -1,0 +1,143 @@
+"""Worker-side execution units and the outcome→response mapping.
+
+Two batch shapes run on the service's pool:
+
+* **indexed** batches are literally the sweep engine's chunks: the
+  service builds a :class:`repro.runtime.engine._ChunkTask` over the
+  requested pair indices and submits the engine's own ``_run_chunk``.
+  Same function, same seeds, same per-pair error capture — which is
+  what makes a service answer for pair ``i`` byte-identical to the
+  sweep's outcome for pair ``i`` (the clean-path parity guarantee) and
+  lets :class:`~repro.runtime.faults.WorkerFault` injection work
+  unchanged.
+* **scan-pair** batches carry the sensing itself (decoded
+  :class:`~repro.comms.tiers.TieredMessage` pairs); the worker keeps a
+  warm :class:`~repro.core.pipeline.BBAlign` per process and runs the
+  pipeline's message path, so any tier the pipeline accepts works over
+  the service too.
+
+Both return the engine's chunk shape ``(key, payload, telemetry)`` —
+telemetry is a registry snapshot the parent folds in chunk-keyed, so a
+retried batch never double-counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comms.envelope import ServiceRequest, ServiceResponse
+from repro.core.config import BBAlignConfig
+from repro.obs.metrics import use_registry
+from repro.runtime.timings import SweepTimings, stage
+from repro.service.config import ServiceConfig
+
+__all__ = ["ScanPairTask", "build_chunk_task", "response_for",
+           "run_scan_pairs"]
+
+
+def build_chunk_task(indices: tuple[int, ...], config: ServiceConfig,
+                     attempt: int = 0):
+    """The engine chunk task evaluating ``indices`` for this service."""
+    from repro.runtime.engine import _ChunkTask
+    return _ChunkTask(
+        indices=indices, dataset_config=config.dataset_config,
+        config=config.config, detector_profile=config.detector_profile,
+        include_vips=config.include_vips, vips_config=config.vips_config,
+        seed=config.seed, fault=config.fault, attempt=attempt)
+
+
+def run_chunk(task):
+    """Alias for the engine's chunk runner (one picklable entry point)."""
+    from repro.runtime.engine import _run_chunk
+    return _run_chunk(task)
+
+
+@dataclass(frozen=True)
+class ScanPairTask:
+    """A batch of scan-pair requests plus the pipeline configuration.
+
+    Only decoded messages and configuration cross the process boundary;
+    the worker's :class:`BBAlign` (Log-Gabor bank, geometry) stays warm
+    across batches.
+    """
+
+    requests: tuple[ServiceRequest, ...]
+    config: BBAlignConfig | None
+    seed: int
+    attempt: int = 0
+
+
+# Per-process warm pipeline, rebuilt only when the config changes.
+_ALIGNER = None
+_ALIGNER_KEY: str | None = None
+
+
+def _aligner(config: BBAlignConfig | None):
+    global _ALIGNER, _ALIGNER_KEY
+    key = repr(config)
+    if _ALIGNER is None or key != _ALIGNER_KEY:
+        from repro.core.pipeline import BBAlign
+        _ALIGNER = BBAlign(config)
+        _ALIGNER_KEY = key
+    return _ALIGNER
+
+
+def run_scan_pairs(task: ScanPairTask) -> tuple[int, list, dict]:
+    """Evaluate a scan-pair batch; engine-chunk-shaped result.
+
+    The pipeline's contract does the heavy lifting: degenerate *data*
+    yields a flagged degraded result, never an exception, so every
+    request in the batch maps to a response.  RANSAC randomness spawns
+    from ``[seed, request_id, 2]`` — per-request deterministic, so a
+    retried batch returns identical poses.
+    """
+    aligner = _aligner(task.config)
+    timings = SweepTimings()
+    responses: list[ServiceResponse] = []
+    with use_registry(timings.registry):
+        for request in task.requests:
+            ego = request.ego
+            with stage(timings, "scan_pair"):
+                result = aligner.recover(
+                    ego.cloud, request.other, ego_boxes=ego.boxes,
+                    rng=np.random.default_rng(
+                        [task.seed, request.request_id, 2]))
+            responses.append(ServiceResponse(
+                request_id=request.request_id, status="ok",
+                success=result.success,
+                failure_reason=(result.failure_reason.value
+                                if result.failure_reason is not None
+                                else None),
+                degradation=result.degradation.value,
+                inliers_bv=result.inliers_bv,
+                inliers_box=result.inliers_box,
+                tx=result.transform.tx, ty=result.transform.ty,
+                theta=result.transform.theta))
+    timings.pairs = len(responses)
+    first = task.requests[0].request_id if task.requests else 0
+    return first, responses, {"snapshot": timings.to_snapshot(),
+                              "spans": []}
+
+
+def response_for(outcome, request_id: int) -> ServiceResponse:
+    """Map a sweep outcome (``PairOutcome`` or ``PairErrorOutcome``)
+    onto the wire response for ``request_id``.
+
+    An evaluation that crashed inside the worker (the engine's per-pair
+    capture) still produces a response — identity pose, ``success``
+    false, the error's taxonomy tag — because a captured error is a
+    degraded data point, not a service failure.
+    """
+    degradation = getattr(outcome, "degradation", None)
+    return ServiceResponse(
+        request_id=request_id, status="ok",
+        success=bool(outcome.success),
+        failure_reason=getattr(outcome, "failure_reason", None),
+        degradation=degradation,
+        inliers_bv=int(getattr(outcome, "inliers_bv", 0)),
+        inliers_box=int(getattr(outcome, "inliers_box", 0)),
+        tx=float(getattr(outcome, "tx", 0.0)),
+        ty=float(getattr(outcome, "ty", 0.0)),
+        theta=float(getattr(outcome, "theta", 0.0)))

@@ -25,6 +25,8 @@ BENCH = {
     },
     "end_to_end": {"before_ms": 900.0, "after_ms": 300.0, "speedup": 3.0,
                    "inliers_bv": 23, "strict": False},
+    "service": {"responded": 80, "sustained_rps": 10.0, "p99_ms": 500.0,
+                "peak_rss_mb": 900.0},
 }
 
 
@@ -119,6 +121,37 @@ class TestExitCodes:
         bench, baselines = layout
         rewrite(bench, **{"end_to_end.inliers_bv": 9})
         assert run(bench, baselines, "--strict") == 2
+
+
+class TestServiceFields:
+    def test_throughput_drop_warns_inverted(self, layout, capsys):
+        """``*_rps`` is larger-is-better: halving it is a 2x slowdown."""
+        bench, baselines = layout
+        rewrite(bench, **{"service.sustained_rps": 5.0})
+        assert run(bench, baselines) == 0
+        assert "sustained_rps" in capsys.readouterr().out
+
+    def test_throughput_gain_passes_clean(self, layout, capsys):
+        bench, baselines = layout
+        rewrite(bench, **{"service.sustained_rps": 20.0})
+        assert run(bench, baselines) == 0
+        assert "WARN" not in capsys.readouterr().out
+
+    def test_memory_ceiling_growth_warns(self, layout, capsys):
+        bench, baselines = layout
+        rewrite(bench, **{"service.peak_rss_mb": 2000.0})
+        assert run(bench, baselines) == 0
+        assert "peak_rss_mb" in capsys.readouterr().out
+
+    def test_memory_growth_fails_under_strict(self, layout):
+        bench, baselines = layout
+        rewrite(bench, **{"service.peak_rss_mb": 2000.0})
+        assert run(bench, baselines, "--strict") == 2
+
+    def test_response_count_is_deterministic(self, layout):
+        bench, baselines = layout
+        rewrite(bench, **{"service.responded": 79})
+        assert run(bench, baselines) == 2
 
 
 class TestClassification:

@@ -28,6 +28,12 @@ from repro.comms.codec import (
     encode_boxes,
     encode_bv_image,
 )
+from repro.comms.envelope import (
+    ServiceRequest,
+    ServiceResponse,
+    decode_request,
+    decode_response,
+)
 from repro.comms.tiers import KeypointPayload
 from repro.pointcloud.cloud import PointCloud
 
@@ -71,6 +77,23 @@ def tier_message(tier: Tier) -> bytes:
     else:
         message = TieredMessage(tier, boxes)
     return encode_message(message, record=False)
+
+
+def service_request(kind: str) -> bytes:
+    """A small valid encoded service request of the requested kind."""
+    if kind == "indexed":
+        return ServiceRequest(request_id=7, index=3,
+                              deadline_ms=250).encode()
+    scans = TieredMessage(Tier.BOXES_ONLY, some_boxes())
+    return ServiceRequest(request_id=8, ego=scans, other=scans).encode()
+
+
+def service_response() -> bytes:
+    """A small valid encoded service response."""
+    return ServiceResponse(
+        request_id=7, status="ok", success=True, failure_reason=None,
+        degradation="full", inliers_bv=12, inliers_box=5,
+        tx=0.5, ty=-0.25, theta=0.01).encode()
 
 
 class TestRoundTrip:
@@ -141,6 +164,21 @@ class TestEveryTruncationPoint:
             with pytest.raises(CodecError):
                 decode_message(data[:cut])
 
+    @pytest.mark.parametrize("kind", ["indexed", "scan-pair"])
+    def test_service_request_all_prefixes(self, kind):
+        """The service's SQ01 envelope is total like every other codec
+        — a truncated request must never crash a service worker."""
+        data = service_request(kind)
+        for cut in range(len(data)):
+            with pytest.raises(CodecError):
+                decode_request(data[:cut])
+
+    def test_service_response_all_prefixes(self):
+        data = service_response()
+        for cut in range(len(data)):
+            with pytest.raises(CodecError):
+                decode_response(data[:cut])
+
 
 class TestByteFlips:
     """Any single-byte XOR damage must be detected.
@@ -177,6 +215,27 @@ class TestByteFlips:
         with pytest.raises(CodecError):
             decode_message(bytes(data))
 
+    @pytest.mark.parametrize("kind", ["indexed", "scan-pair"])
+    @given(position_seed=st.integers(0, 10 ** 9),
+           flip=st.integers(1, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_service_request_single_flip_detected(self, kind,
+                                                  position_seed, flip):
+        data = bytearray(service_request(kind))
+        data[position_seed % len(data)] ^= flip
+        with pytest.raises(CodecError):
+            decode_request(bytes(data))
+
+    @given(position_seed=st.integers(0, 10 ** 9),
+           flip=st.integers(1, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_service_response_single_flip_detected(self, position_seed,
+                                                   flip):
+        data = bytearray(service_response())
+        data[position_seed % len(data)] ^= flip
+        with pytest.raises(CodecError):
+            decode_response(bytes(data))
+
     @given(st.binary(max_size=2048))
     @settings(max_examples=100, deadline=None)
     def test_arbitrary_garbage_never_crashes(self, garbage):
@@ -189,6 +248,10 @@ class TestByteFlips:
             V2VMessage.from_bytes(garbage)
         with pytest.raises(CodecError):
             decode_message(garbage)
+        with pytest.raises(CodecError):
+            decode_request(garbage)
+        with pytest.raises(CodecError):
+            decode_response(garbage)
 
     @given(st.binary(max_size=512))
     @settings(max_examples=60, deadline=None)
@@ -198,6 +261,14 @@ class TestByteFlips:
         for magic in (b"TF01", b"TB01", b"TK01", b"TX01"):
             with pytest.raises(CodecError):
                 decode_message(magic + garbage)
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_garbage_behind_valid_service_magic(self, garbage):
+        with pytest.raises(CodecError):
+            decode_request(b"SQ01" + garbage)
+        with pytest.raises(CodecError):
+            decode_response(b"SP01" + garbage)
 
     def test_codec_error_is_value_error(self):
         """Pre-hardening callers caught ValueError; that must keep

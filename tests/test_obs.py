@@ -18,11 +18,13 @@ from repro.experiments.common import (
 )
 from repro.obs import (
     Counter,
+    Gauge,
     Histogram,
     JsonlExporter,
     MetricsRegistry,
     collect_spans,
     counter,
+    gauge,
     histogram,
     span,
     trace_session,
@@ -113,6 +115,58 @@ class TestRegistry:
     def test_noop_instruments_allocate_nothing(self):
         assert counter("a") is counter("b")
         assert histogram("a") is histogram("b")
+        assert gauge("a") is gauge("b")
+
+
+class TestGauge:
+    def test_level_tracking_and_high_water(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 1.0
+        assert g.high_water == 5.0
+        g.set(0)
+        assert g.high_water == 5.0  # the mark never shrinks
+
+    def test_merge_adds_levels_and_widens_high_water(self):
+        """Gauges partitioned across contributors merge additively:
+        two workers each holding 3 in-flight requests total 6."""
+        source = MetricsRegistry()
+        source.gauge("in_flight").set(3)
+        target = MetricsRegistry()
+        target.gauge("in_flight").set(3)
+        snapshot = json.loads(json.dumps(source.snapshot()))
+        target.merge_snapshot(snapshot)
+        assert target.gauge("in_flight").value == 6.0
+        assert target.gauge("in_flight").high_water == 6.0
+
+    def test_unmerge_restores_the_level_not_the_mark(self):
+        """sign=-1 un-merge is exact for the level (the chunk-keyed
+        dedupe contract) while the high-water mark survives — a retried
+        chunk's peak really happened."""
+        source = MetricsRegistry()
+        source.gauge("queue").set(4)
+        snapshot = source.snapshot()
+        target = MetricsRegistry()
+        target.gauge("queue").set(1)
+        target.merge_snapshot(snapshot)
+        assert target.gauge("queue").value == 5.0
+        target.merge_snapshot(snapshot, sign=-1)
+        assert target.gauge("queue").value == 1.0
+        assert target.gauge("queue").high_water == 5.0
+        # Re-merge (the dedupe ladder's replace step) lands back at 5.
+        target.merge_snapshot(snapshot)
+        assert target.gauge("queue").value == 5.0
+        assert target.gauge("queue").high_water == 5.0
+
+    def test_gauge_module_helper_uses_active_registry(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            gauge("live").set(7)
+        assert registry.gauge("live").value == 7.0
+        gauge("live").set(99)  # no active registry: a no-op sink
+        assert registry.gauge("live").value == 7.0
 
 
 class TestSpans:

@@ -15,10 +15,13 @@ name under ``--baselines-dir`` (default
   outcome counts, configuration): any mismatch is a regression and the
   gate **fails**.  These values are seeded, so a change means behavior
   changed, not the weather on the CI runner.
-* **Timing drift** — ``*_ms`` / ``*_s`` / ``speedup`` fields: compared
-  as ratios against ``--max-slowdown`` (default 1.5).  Exceeding the
-  budget **warns** by default — CI runners are noisy — and fails only
-  under ``--strict`` (or ``REPRO_BENCH_STRICT=1``).
+* **Timing drift** — ``*_ms`` / ``*_s`` / ``*_mb`` / ``*_rps`` /
+  ``speedup`` fields: compared as ratios against ``--max-slowdown``
+  (default 1.5).  ``*_rps`` and ``speedup`` are larger-is-better, so
+  their ratio is inverted; the rest (latencies, wall times, memory
+  ceilings) are smaller-is-better.  Exceeding the budget **warns** by
+  default — CI runners are noisy — and fails only under ``--strict``
+  (or ``REPRO_BENCH_STRICT=1``).
 
 A bench file with no baseline yet warns and passes, so adding a new
 benchmark never blocks CI; commit its baseline with
@@ -52,8 +55,13 @@ IGNORED_KEYS = {"schema_version", "strict"}
 TIMING_SUBTREES = {"stages_before_s", "stages_after_s", "stage_speedups"}
 
 
+#: Timing-key suffixes where *larger* is better (ratio inverted).
+_INVERTED_SUFFIXES = ("_rps",)
+
+
 def _is_timing_key(key: str) -> bool:
-    return key == "speedup" or key.endswith("_ms") or key.endswith("_s")
+    return (key == "speedup" or key.endswith("_ms") or key.endswith("_s")
+            or key.endswith("_mb") or key.endswith(_INVERTED_SUFFIXES))
 
 
 def _walk(node: object, path: tuple[str, ...] = ()) \
@@ -81,11 +89,13 @@ class Comparison:
     # ------------------------------------------------------------------
     def _compare_timing(self, label: str, current: float,
                         baseline: float) -> None:
-        # "speedup" is better when larger; raw times when smaller.  Both
-        # reduce to one slowdown ratio >= 1 meaning "got worse".
+        # "speedup" and throughput are better when larger; raw times
+        # and memory ceilings when smaller.  Both reduce to one
+        # slowdown ratio >= 1 meaning "got worse".
         if baseline <= 0 or current <= 0:
             return  # degenerate timing (e.g. sub-resolution stage): skip
-        if label.rsplit(".", 1)[-1] == "speedup":
+        leaf = label.rsplit(".", 1)[-1]
+        if leaf == "speedup" or leaf.endswith(_INVERTED_SUFFIXES):
             ratio = baseline / current
         else:
             ratio = current / baseline
