@@ -1,13 +1,23 @@
 """Bench: the always-on pose service — clean-path parity + chaos soak.
 
 Writes ``benchmarks/results/BENCH_service.json`` for the
-``tools/check_bench.py`` regression gate.  Two legs:
+``tools/check_bench.py`` regression gate.  Four legs:
 
 * **Clean-path parity** — the service answers the full benchmark sweep
   (same 40 pairs, same seeds) and every pose must be *byte-identical*
   to the direct ``run_pose_recovery_sweep`` outcome.  The service adds
   transport, batching and supervision around the engine's chunk runner
   — never arithmetic.
+* **Scan data-plane parity** — the same 40 pairs as raw scan-pair
+  messages, answered once over the pickle path (shm off, cache off)
+  and once over the zero-copy path (shm on, warm cache on), same
+  request ids in both legs.  Every response field must be identical:
+  the data plane moves bytes, never arithmetic.
+* **Scan data-plane throughput** — a closed-loop load run cycling a
+  small working set of scan pairs, pickle leg vs shm leg, with task
+  payload accounting on.  The per-request serialized bytes reduction
+  (>= 5x) is asserted always; the RPS speedup (>= 1.5x) is asserted
+  under ``REPRO_BENCH_STRICT=1`` and ratio-gated otherwise.
 * **Chaos soak** — a closed-loop load run (80 requests, 6 virtual
   clients) while injected faults kill two workers, hang a third past
   the batch timeout, and make one pair evaluation raise.  The contract
@@ -16,29 +26,41 @@ Writes ``benchmarks/results/BENCH_service.json`` for the
   faults — supervision is exact, not best-effort.
 
 Deterministic fields (response/success/status counts, restart
-accounting, parity) gate exactly; ``*_s``/``*_ms`` latencies,
-``sustained_rps`` throughput and the ``peak_rss_mb`` memory ceiling
-gate as ratio budgets (strict in the nightly soak leg).
+accounting, parity, leak checks) gate exactly; ``*_s``/``*_ms``
+latencies, ``*_rps`` throughput, ``*speedup`` ratios, per-request
+``*_mb`` payload sizes and the ``peak_rss_mb`` memory ceiling gate as
+ratio budgets (strict in the nightly soak leg).
 """
 
 from __future__ import annotations
 
 import asyncio
 import dataclasses
+import glob
 import json
 import os
 import resource
 import time
 
 from repro.comms.envelope import ServiceRequest
+from repro.comms.tiers import Tier, build_message
+from repro.detection.simulated import COBEVT_PROFILE, SimulatedDetector
+from repro.experiments.common import detect_for_pair
 from repro.runtime.faults import WorkerFault
 from repro.runtime.retry import RetryPolicy
 from repro.service import PoseService, ServiceConfig, run_load
-from repro.simulation.dataset import DatasetConfig
+from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
 
 SWEEP_PAIRS = 40
 SWEEP_SEED = 2024
 WORKERS = 2
+
+#: Scan data-plane throughput leg: a working set small enough that the
+#: warm cache sees repeats (48 requests over 8 unique pairs) but large
+#: enough that the byte accounting averages over batching jitter.
+DP_UNIQUE_PAIRS = 8
+DP_REQUESTS = 48
+DP_CONCURRENCY = 6
 
 #: Fault plan for the soak.  Faults fire on the *dataset pair index*
 #: (so only during the first of the two request cycles), and the
@@ -132,6 +154,152 @@ def test_service_clean_path_parity(sweep_outcomes):
     }
 
 
+def _scan_messages(count: int) -> list[tuple]:
+    """(ego, other) FULL_SCAN message tuples for the first ``count``
+    benchmark pairs, detector boxes included — the realistic payload a
+    vehicle would actually ship."""
+    dataset = V2VDatasetSim(DatasetConfig(num_pairs=max(count, 1),
+                                          seed=SWEEP_SEED))
+    detector = SimulatedDetector(COBEVT_PROFILE)
+    messages = []
+    for index in range(count):
+        pair = dataset[index].pair
+        ego_dets, other_dets = detect_for_pair(pair, detector, 7, index)
+        messages.append((
+            build_message(Tier.FULL_SCAN, [d.box for d in ego_dets],
+                          cloud=pair.ego_cloud),
+            build_message(Tier.FULL_SCAN, [d.box for d in other_dets],
+                          cloud=pair.other_cloud)))
+    return messages
+
+
+def _leaked_segments() -> list[str]:
+    return glob.glob("/dev/shm/repro-svc-*")
+
+
+def test_service_scan_data_plane_parity():
+    """Pickle path and zero-copy path answer scan pairs identically.
+
+    Same 40 pairs, same request ids (the per-request RNG streams hang
+    off them), one leg with shm and the warm cache off, one with both
+    on.  Every response field must match — the correctness contract of
+    the data plane."""
+    messages = _scan_messages(SWEEP_PAIRS)
+
+    async def leg(use_shm: bool, cache_mb: float):
+        config = _service_config(include_vips=False, use_shm=use_shm,
+                                 worker_cache_mb=cache_mb)
+        async with PoseService(config) as service:
+            futures = [service.submit_nowait(
+                ServiceRequest(request_id=index + 1, ego=ego, other=other))
+                for index, (ego, other) in enumerate(messages)]
+            return await asyncio.gather(*futures)
+
+    start = time.perf_counter()
+    pickle_leg = asyncio.run(asyncio.wait_for(
+        leg(use_shm=False, cache_mb=0.0), timeout=600))
+    shm_leg = asyncio.run(asyncio.wait_for(
+        leg(use_shm=True, cache_mb=64.0), timeout=600))
+    parity_seconds = time.perf_counter() - start
+
+    mismatches = sum(a != b for a, b in zip(pickle_leg, shm_leg))
+    assert mismatches == 0
+    assert all(response.status == "ok" for response in pickle_leg)
+    assert _leaked_segments() == []
+
+    _REPORT["scan_parity"] = {
+        "pairs": SWEEP_PAIRS,
+        "identical": mismatches == 0,
+        "scan_parity_s": round(parity_seconds, 3),
+    }
+
+
+def test_service_scan_data_plane_throughput():
+    """Closed-loop scan-pair load: pickle leg vs zero-copy leg.
+
+    The deterministic bar — per-request serialized task bytes shrink
+    >= 5x when descriptors replace pickled clouds — always gates.  The
+    wall-clock bar (>= 1.5x RPS) is asserted under
+    ``REPRO_BENCH_STRICT=1`` and ratio-gated against the committed
+    baseline otherwise."""
+    messages = _scan_messages(DP_UNIQUE_PAIRS)
+
+    def factory(n: int) -> ServiceRequest:
+        ego, other = messages[n % DP_UNIQUE_PAIRS]
+        return ServiceRequest(request_id=(n + 1) & 0xFFFFFFFF,
+                              ego=ego, other=other)
+
+    async def leg(use_shm: bool, cache_mb: float):
+        config = _service_config(include_vips=False, use_shm=use_shm,
+                                 worker_cache_mb=cache_mb,
+                                 account_payload_bytes=True)
+        async with PoseService(config) as service:
+            summary = await run_load(service.submit,
+                                     requests=DP_REQUESTS,
+                                     concurrency=DP_CONCURRENCY,
+                                     warmup=WORKERS,
+                                     make_request=factory)
+            histogram = service.registry.histograms.get("service/task_bytes")
+            counters = service.registry.counter_values("service/")
+            accounted = counters.get("service/payload_requests", 0)
+            per_request = (histogram.total / accounted
+                           if histogram is not None and accounted else 0.0)
+            return summary, per_request, counters
+
+    pickle_summary, pickle_bytes, _ = asyncio.run(
+        asyncio.wait_for(leg(use_shm=False, cache_mb=0.0), timeout=600))
+    shm_summary, shm_bytes, shm_counters = asyncio.run(
+        asyncio.wait_for(leg(use_shm=True, cache_mb=64.0), timeout=600))
+
+    for summary in (pickle_summary, shm_summary):
+        assert summary.errors == 0
+        assert summary.responded == DP_REQUESTS
+        assert summary.rejected == 0
+        assert summary.statuses == {"ok": DP_REQUESTS}
+    # Same request ids + deterministic per-request RNG: the legs must
+    # agree on every pose outcome, so the success tallies match.
+    assert pickle_summary.successes == shm_summary.successes
+
+    bytes_speedup = pickle_bytes / shm_bytes if shm_bytes else 0.0
+    assert bytes_speedup >= 5.0, (
+        f"serialized task bytes only shrank {bytes_speedup:.1f}x "
+        f"({pickle_bytes:.0f} -> {shm_bytes:.0f} bytes/request)")
+
+    # 48 requests over two workers means some pair repeats in whichever
+    # worker saw more than DP_UNIQUE_PAIRS requests — the warm cache
+    # must have hits (the exact split across workers is scheduling).
+    cache_hits = shm_counters.get("service/worker_cache/hits", 0)
+    assert cache_hits > 0
+
+    rps_speedup = (shm_summary.sustained_rps / pickle_summary.sustained_rps
+                   if pickle_summary.sustained_rps else 0.0)
+    strict = os.environ.get("REPRO_BENCH_STRICT") == "1"
+    if strict:
+        assert rps_speedup >= 1.5, (
+            f"zero-copy leg only {rps_speedup:.2f}x the pickle leg")
+    assert _leaked_segments() == []
+
+    _REPORT["data_plane"] = {
+        "requests": DP_REQUESTS,
+        "unique_pairs": DP_UNIQUE_PAIRS,
+        "concurrency": DP_CONCURRENCY,
+        "warmup": WORKERS,
+        "successes": shm_summary.successes,
+        "pickle_rps": round(pickle_summary.sustained_rps, 3),
+        "shm_rps": round(shm_summary.sustained_rps, 3),
+        "rps_speedup": round(rps_speedup, 3),
+        "pickle_task_mb": round(pickle_bytes / 2**20, 4),
+        "shm_task_mb": round(shm_bytes / 2**20, 4),
+        "bytes_speedup": round(bytes_speedup, 1),
+        "warm_cache_hit": cache_hits > 0,
+    }
+    print(f"\nservice data plane: {pickle_bytes:.0f} -> {shm_bytes:.0f} "
+          f"bytes/request ({bytes_speedup:.0f}x), "
+          f"{pickle_summary.sustained_rps:.1f} -> "
+          f"{shm_summary.sustained_rps:.1f} rps ({rps_speedup:.2f}x), "
+          f"{cache_hits} warm-cache hits")
+
+
 def test_service_chaos_soak(tmp_path, results_dir):
     """Sustained load under injected kills, a hang, and a raise."""
     fault = MixedFault(kills=KILL_AT, hangs=HANG_AT, raise_at=RAISE_AT,
@@ -169,10 +337,13 @@ def test_service_chaos_soak(tmp_path, results_dir):
     # the exact success/degradation tallies are seeded and gate
     # against the committed baseline.
 
+    leaked = _leaked_segments()
+    assert leaked == [], f"leaked shm segments: {leaked}"
+
     rss_kib = max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
                   resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
     report = {
-        "schema_version": 1,
+        "schema_version": 2,
         "config": {
             "num_pairs": SWEEP_PAIRS,
             "seed": SWEEP_SEED,
@@ -188,6 +359,10 @@ def test_service_chaos_soak(tmp_path, results_dir):
         "parity": _REPORT.get("parity",
                               {"pairs": 0, "identical": False,
                                "parity_s": 0.0}),
+        "scan_parity": _REPORT.get("scan_parity",
+                                   {"pairs": 0, "identical": False,
+                                    "scan_parity_s": 0.0}),
+        "data_plane": _REPORT.get("data_plane", {}),
         "soak": summary.to_dict(),
         "supervision": {
             "worker_restarts": stats["worker_restarts"],
@@ -200,6 +375,11 @@ def test_service_chaos_soak(tmp_path, results_dir):
             "zero_unhandled": summary.errors == 0,
             "restarts_equal_injected_faults":
                 stats["worker_restarts"] == injected_pool_faults,
+            "scan_parity_identical":
+                _REPORT.get("scan_parity", {}).get("identical", False),
+            "bytes_reduction_at_least_5x":
+                _REPORT.get("data_plane", {}).get("bytes_speedup", 0) >= 5.0,
+            "zero_leaked_segments": leaked == [],
         },
         "peak_rss_mb": round(rss_kib / 1024.0, 1),
     }

@@ -31,9 +31,14 @@ Two non-experiment subcommands expose the always-on pose service
 transport until SIGTERM/SIGINT, then drains gracefully (every admitted
 request gets its real response before the pool closes).  ``--chaos
 KIND:IDX[,IDX...]`` injects a fire-once worker fault — the lever the CI
-smoke uses to prove a killed worker is restarted mid-serve.
+smoke uses to prove a killed worker is restarted mid-serve.  The data
+plane is tunable: ``--shm/--no-shm`` toggles the shared-memory scan
+transport, ``--cache-mb`` sizes the per-worker feature cache,
+``--adaptive-batch`` lets queue depth drive the micro-batch shape, and
+``--trace PATH`` exports per-request span trees.
 ``service-load`` is the closed-loop load client; ``--standalone`` runs
-service and load in one process (no TCP) and ``--json`` writes the
+service and load in one process (no TCP), ``--warmup`` absorbs cold
+pool costs before the timed window, and ``--json`` writes the
 :class:`~repro.service.load.LoadSummary` for the benchmark gate.
 """
 
@@ -120,6 +125,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "(kill/hang/raise) at the given pair indices")
     serve.add_argument("--hang-seconds", type=float, default=6.0,
                        help="stall duration of an injected hang fault")
+    serve.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="carry scan-pair batches through shared "
+                            "memory (default on; --no-shm pickles them)")
+    serve.add_argument("--cache-mb", type=float, default=64.0,
+                       help="per-worker feature cache budget in MiB "
+                            "(default 64; 0 disables)")
+    serve.add_argument("--adaptive-batch", action="store_true",
+                       help="drive batch size/window from queue depth "
+                            "instead of the fixed --batch-size")
+    serve.add_argument("--trace", type=pathlib.Path, default=None,
+                       metavar="PATH",
+                       help="export per-request trace spans to a "
+                            "JSON-lines file (schema in docs/api.md)")
 
     load = sub.add_parser(
         "service-load",
@@ -143,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="pool processes for --standalone (default 2)")
     load.add_argument("--deadline-ms", type=int, default=0,
                       help="per-request deadline in ms (0 = none)")
+    load.add_argument("--warmup", type=int, default=-1, metavar="N",
+                      help="uncounted warmup requests before the timed "
+                           "window (default: one per worker for "
+                           "--standalone, 0 over TCP)")
     load.add_argument("--json", type=pathlib.Path, default=None,
                       metavar="PATH",
                       help="also write the summary as JSON")
@@ -230,7 +253,9 @@ def _cmd_serve(args) -> int:
         dataset_config=DatasetConfig(num_pairs=args.pairs, seed=args.seed),
         workers=args.workers, queue_limit=args.queue_limit,
         batch_size=args.batch_size, batch_timeout=args.batch_timeout,
-        default_deadline=args.deadline, fault=fault)
+        default_deadline=args.deadline, fault=fault,
+        use_shm=args.shm, worker_cache_mb=args.cache_mb,
+        adaptive_batch=args.adaptive_batch)
 
     async def run() -> None:
         service = PoseService(config)
@@ -250,13 +275,24 @@ def _cmd_serve(args) -> int:
         print("draining ...", flush=True)
         await server.stop()
         await service.stop()
-        counters = service.registry.snapshot().get("counters", {})
+        registry = active_registry()
+        if registry is not None:
+            # Fold the service's instruments into the trace session so
+            # the export carries the run's counters alongside its spans.
+            registry.merge(service.registry)
         print("drained; " + " ".join(
-            f"{key.removeprefix('service/')}={value}"
-            for key, value in sorted(counters.items())
-            if key.startswith("service/")), flush=True)
+            f"{key.removeprefix('service/')}={value}" for key, value
+            in service.registry.counter_values("service/").items()),
+            flush=True)
 
-    asyncio.run(run())
+    trace_cm = (trace_session(args.trace, command="serve",
+                              pairs=args.pairs, seed=args.seed,
+                              workers=args.workers)
+                if args.trace is not None else contextlib.nullcontext())
+    with trace_cm:
+        # The service captures the ambient trace collector in start();
+        # per-request spans stitch under this session's root.
+        asyncio.run(run())
     return 0
 
 
@@ -274,6 +310,11 @@ def _cmd_service_load(args) -> int:
 
     async def run():
         if args.standalone:
+            # Warm the pool once before the timed window (workers build
+            # their pipeline on first use; unwarmed, that cost lands on
+            # the first few latency samples and skews every percentile).
+            warmup = (args.warmup if args.warmup >= 0
+                      else (args.workers or 2))
             config = ServiceConfig(
                 dataset_config=DatasetConfig(num_pairs=args.pairs,
                                              seed=args.seed),
@@ -282,7 +323,7 @@ def _cmd_service_load(args) -> int:
                 return await run_load(
                     service.submit, requests=args.requests,
                     concurrency=args.concurrency, num_pairs=args.pairs,
-                    deadline_ms=args.deadline_ms)
+                    deadline_ms=args.deadline_ms, warmup=warmup)
         if args.port is None:
             raise SystemExit("service-load needs --port (or --standalone)")
         client = await ServiceClient.connect(args.host, args.port)
@@ -290,7 +331,8 @@ def _cmd_service_load(args) -> int:
             return await run_load(
                 client.request, requests=args.requests,
                 concurrency=args.concurrency, num_pairs=args.pairs,
-                deadline_ms=args.deadline_ms)
+                deadline_ms=args.deadline_ms,
+                warmup=max(args.warmup, 0))
         finally:
             await client.close()
 

@@ -252,6 +252,17 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         self.merge_snapshot(other.snapshot())
 
+    def counter_values(self, prefix: str = "") -> dict[str, int]:
+        """Sorted ``{name: value}`` of counters under ``prefix``.
+
+        The reporting primitive behind ``repro serve``'s drain line and
+        the soak harness's supervision block — one place defines what
+        "the service counters" means instead of three ad-hoc filters.
+        """
+        return {name: instrument.value
+                for name, instrument in sorted(self.counters.items())
+                if name.startswith(prefix)}
+
 
 # ----------------------------------------------------------------------
 # The active registry.  Instrumented code never holds a registry —

@@ -36,15 +36,28 @@ class FeatureCache:
 
     ``max_entries=0`` disables storage (every ``get`` misses), which is
     how callers opt out of caching without branching on None.
+
+    Bounds compose: eviction trims the least-recent entries until both
+    ``max_entries`` and — when ``max_bytes > 0`` — the byte budget hold.
+    Sizes are caller-reported via ``put(..., nbytes=...)`` (the cache
+    cannot deep-size arbitrary feature objects); callers that never pass
+    sizes get the historical entry-count-only behavior.
     """
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(self, max_entries: int = 64, *,
+                 max_bytes: int = 0) -> None:
         if max_entries < 0:
             raise ValueError("max_entries must be >= 0")
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._sizes: dict[Hashable, int] = {}
+        self.total_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,21 +75,38 @@ class FeatureCache:
         self.hits += 1
         return entry
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) a key, evicting the least recent entry
-        beyond capacity."""
+    def put(self, key: Hashable, value: Any, *, nbytes: int = 0) -> None:
+        """Insert (or refresh) a key, evicting least-recent entries
+        until the entry-count and byte budgets both hold.
+
+        ``nbytes`` is the caller's estimate of the entry's footprint;
+        an oversized single entry still gets stored (evicting everything
+        else) so a hot item larger than the budget degrades to
+        cache-of-one rather than thrash.
+        """
         if self.max_entries == 0:
             return
+        if key in self._entries:
+            self.total_bytes -= self._sizes.get(key, 0)
         self._entries[key] = value
         self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        self._sizes[key] = nbytes
+        self.total_bytes += nbytes
+        while (len(self._entries) > self.max_entries
+               or (self.max_bytes and self.total_bytes > self.max_bytes
+                   and len(self._entries) > 1)):
+            evicted, _ = self._entries.popitem(last=False)
+            self.total_bytes -= self._sizes.pop(evicted, 0)
+            self.evictions += 1
 
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop all entries and reset the hit/miss/eviction counters."""
         self._entries.clear()
+        self._sizes.clear()
+        self.total_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 # ----------------------------------------------------------------------

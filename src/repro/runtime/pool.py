@@ -37,7 +37,8 @@ from typing import Any, Callable
 __all__ = ["PoolUnavailableError", "WorkerPool", "resolve_workers"]
 
 
-def _pool_worker_init(extra: Callable[..., None] | None) -> None:
+def _pool_worker_init(extra: Callable[..., None] | None,
+                      *args: Any) -> None:
     """Detach inherited signal wiring, then run the caller's initializer.
 
     Fork-started workers inherit the parent's Python-level signal
@@ -59,7 +60,7 @@ def _pool_worker_init(extra: Callable[..., None] | None) -> None:
         except (ValueError, OSError):
             pass
     if extra is not None:
-        extra()
+        extra(*args)
 
 
 class PoolUnavailableError(RuntimeError):
@@ -81,9 +82,11 @@ class WorkerPool:
     """One restartable process pool with liveness accounting."""
 
     def __init__(self, workers: int | None = None, *,
-                 initializer: Callable[..., None] | None = None) -> None:
+                 initializer: Callable[..., None] | None = None,
+                 initargs: tuple = ()) -> None:
         self.workers = resolve_workers(workers)
         self._initializer = initializer
+        self._initargs = tuple(initargs)
         self._executor: ProcessPoolExecutor | None = None
         #: Bumped on every restart; submissions snapshot it so a failure
         #: can tell "my pool broke" from "someone already replaced it".
@@ -103,7 +106,7 @@ class WorkerPool:
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_pool_worker_init,
-                    initargs=(self._initializer,))
+                    initargs=(self._initializer, *self._initargs))
             except (OSError, ValueError, NotImplementedError) as error:
                 raise PoolUnavailableError(
                     f"cannot start process pool: {error}") from error

@@ -14,14 +14,26 @@ while workers crash and hang.  This package is that service:
   error surface.
 * :mod:`repro.service.worker` — worker-side batch units; indexed
   requests run the sweep engine's own chunk runner, so service answers
-  are byte-identical to sweep outcomes.
+  are byte-identical to sweep outcomes.  Scan-pair workers keep a warm
+  per-process feature cache (:func:`configure_worker`).
+* :mod:`repro.service.batching` — :class:`AdaptiveBatchController`,
+  the queue-depth-driven micro-batch shaper (opt-in via
+  ``ServiceConfig.adaptive_batch``).
 * :mod:`repro.service.server` — the length-prefixed TCP transport
   (:class:`ServiceServer` / :class:`ServiceClient`) speaking
-  :mod:`repro.comms.envelope` frames.
+  :mod:`repro.comms.envelope` frames, including the shared-memory
+  scan-pair fast path (:meth:`ServiceClient.request_shm`).
 * :mod:`repro.service.load` — the closed-loop load generator behind
   ``repro service-load`` and the chaos-soak benchmark.
+
+The scan data plane itself (arena, descriptors, message packing) lives
+in :mod:`repro.runtime.shm`.
 """
 
+from repro.service.batching import (
+    AdaptiveBatchController,
+    BatchControllerConfig,
+)
 from repro.service.config import (
     ServiceClosed,
     ServiceConfig,
@@ -31,9 +43,16 @@ from repro.service.config import (
 )
 from repro.service.core import PoseService
 from repro.service.load import LoadSummary, run_load
-from repro.service.server import ServiceClient, ServiceServer
+from repro.service.server import (
+    ServiceClient,
+    ServiceServer,
+    resolve_shm_request,
+)
+from repro.service.worker import configure_worker
 
 __all__ = [
+    "AdaptiveBatchController",
+    "BatchControllerConfig",
     "LoadSummary",
     "PoseService",
     "ServiceClient",
@@ -43,5 +62,7 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceServer",
     "ServiceUnsupported",
+    "configure_worker",
+    "resolve_shm_request",
     "run_load",
 ]

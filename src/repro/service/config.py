@@ -16,6 +16,7 @@ from repro.core.config import BBAlignConfig
 from repro.detection.simulated import COBEVT_PROFILE, DetectorProfile
 from repro.runtime.faults import WorkerFault
 from repro.runtime.retry import SERVICE_DEFAULT, RetryPolicy
+from repro.service.batching import BatchControllerConfig
 from repro.simulation.dataset import DatasetConfig
 
 __all__ = [
@@ -86,6 +87,27 @@ class ServiceConfig:
         fault: deterministic fault injection forwarded to workers on
             indexed requests (the chaos harness's lever; ``None`` in
             production).
+        use_shm: place scan-pair payloads in shared-memory segments and
+            hand workers descriptors instead of pickled arrays
+            (:mod:`repro.runtime.shm`).  Falls back to the pickle path
+            transparently when shared memory is unavailable; responses
+            are byte-identical either way.
+        worker_cache_mb: byte budget (MiB) of each worker's persistent
+            content-keyed :class:`~repro.runtime.cache.FeatureCache`
+            for scan-pair stage-1 features; ``0`` disables caching.
+            Cache on/off is also response-byte-identical.
+        adaptive_batch: drive ``batch_size``/``batch_window`` from the
+            queue-depth gauge via
+            :class:`~repro.service.batching.AdaptiveBatchController`
+            instead of the fixed values (opt-in: the chaos-soak
+            contract counts batches against a fixed size).
+        batch_controller: bounds/hysteresis for the adaptive controller
+            (``None`` = defaults derived from ``batch_size`` and
+            ``batch_window``).
+        account_payload_bytes: measure the serialized size of every
+            dispatched batch task into ``service/task_bytes`` (costs an
+            extra pickle per batch; the bench's bytes-per-request
+            evidence, off in production).
     """
 
     dataset_config: DatasetConfig = field(
@@ -104,6 +126,11 @@ class ServiceConfig:
     heartbeat_interval: float = 0.25
     retry: RetryPolicy = SERVICE_DEFAULT
     fault: WorkerFault | None = None
+    use_shm: bool = True
+    worker_cache_mb: float = 64.0
+    adaptive_batch: bool = False
+    batch_controller: "BatchControllerConfig | None" = None
+    account_payload_bytes: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -118,3 +145,5 @@ class ServiceConfig:
             raise ValueError("default_deadline must be > 0 when set")
         if self.heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be > 0")
+        if self.worker_cache_mb < 0:
+            raise ValueError("worker_cache_mb must be >= 0")

@@ -77,6 +77,10 @@ class LoadSummary:
         return percentile(self.latencies_s, 0.50) * 1000.0
 
     @property
+    def p95_ms(self) -> float:
+        return percentile(self.latencies_s, 0.95) * 1000.0
+
+    @property
     def p99_ms(self) -> float:
         return percentile(self.latencies_s, 0.99) * 1000.0
 
@@ -93,6 +97,7 @@ class LoadSummary:
             "wall_s": round(self.wall_s, 3),
             "sustained_rps": round(self.sustained_rps, 3),
             "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
         }
 
@@ -102,13 +107,14 @@ class LoadSummary:
         return (f"{self.responded}/{self.attempted} responded "
                 f"({self.rejected} rejected, {self.errors} unhandled) "
                 f"in {self.wall_s:.2f} s — {self.sustained_rps:.1f} rps, "
-                f"p50 {self.p50_ms:.0f} ms, p99 {self.p99_ms:.0f} ms; "
-                f"{statuses}")
+                f"p50 {self.p50_ms:.0f} ms, p95 {self.p95_ms:.0f} ms, "
+                f"p99 {self.p99_ms:.0f} ms; {statuses}")
 
 
 async def run_load(submit, *, requests: int, concurrency: int,
-                   num_pairs: int, deadline_ms: int = 0,
-                   overload_backoff: float = 0.01) -> LoadSummary:
+                   num_pairs: int = 0, deadline_ms: int = 0,
+                   overload_backoff: float = 0.01, warmup: int = 0,
+                   make_request=None) -> LoadSummary:
     """Drive ``submit`` with a closed-loop request stream.
 
     Args:
@@ -119,19 +125,48 @@ async def run_load(submit, *, requests: int, concurrency: int,
             soak harness exists to catch.
         requests: total requests to attempt.
         concurrency: simultaneous virtual clients.
-        num_pairs: indexed requests cycle ``0..num_pairs-1``.
+        num_pairs: indexed requests cycle ``0..num_pairs-1`` (ignored
+            when ``make_request`` is given).
         deadline_ms: per-request deadline to declare (0 = none).
         overload_backoff: seconds a client sleeps after an overload
             rejection before its next attempt.
+        warmup: requests to run (serially, best-effort, uncounted)
+            before the timed window opens — they absorb one-time costs
+            (worker pipeline construction, cold caches) so the summary
+            measures steady state.  Warmup ids live in a reserved high
+            band (``0x7F000000 + n``) and never collide with the timed
+            stream's.
+        make_request: optional ``(n: int) -> ServiceRequest`` factory
+            replacing the default indexed-request stream — how the
+            bench drives scan-pair and shm forms through the same
+            closed loop.  It must assign its own (stable) request ids;
+            determinism of per-request RNG streams hangs off them.
     """
     summary = LoadSummary()
     counter = iter(range(requests))
+    if make_request is None:
+        if num_pairs < 1:
+            raise ValueError("num_pairs must be >= 1 for indexed load")
+
+        def make_request(n: int) -> ServiceRequest:
+            return ServiceRequest(request_id=(n + 1) & 0xFFFFFFFF,
+                                  index=n % num_pairs,
+                                  deadline_ms=deadline_ms)
+
+    for n in range(warmup):
+        warm = make_request(n)
+        kwargs = ({"index": warm.index} if warm.index is not None
+                  else {"ego": warm.ego, "other": warm.other}
+                  if warm.shm is None else {"shm": warm.shm})
+        try:
+            await submit(ServiceRequest(
+                request_id=(0x7F000000 + n) & 0xFFFFFFFF, **kwargs))
+        except Exception:
+            pass  # warmup is best-effort; the timed loop counts errors
 
     async def client() -> None:
         for n in counter:
-            request = ServiceRequest(request_id=(n + 1) & 0xFFFFFFFF,
-                                     index=n % num_pairs,
-                                     deadline_ms=deadline_ms)
+            request = make_request(n)
             summary.attempted += 1
             start = time.perf_counter()
             try:

@@ -1,0 +1,309 @@
+"""Tests for the warm worker cache and the adaptive batch controller.
+
+The cache contract: byte-budget LRU bounds compose with the entry
+bound, counters are exact, and — the service-level guarantee — cache
+on/off is *response-byte-identical* (the cache only short-circuits a
+deterministic recomputation).  The controller contract: a fixed
+sequence of queue-depth observations under a fixed clock always walks
+the same bounded ladder, with hysteresis and cooldown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.comms.envelope import ServiceRequest
+from repro.comms.tiers import Tier, build_message
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.runtime.cache import FeatureCache
+from repro.service import (
+    AdaptiveBatchController,
+    BatchControllerConfig,
+    PoseService,
+    ServiceConfig,
+)
+from repro.service.worker import _digest, _features_nbytes
+from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
+
+DATASET = DatasetConfig(num_pairs=2, seed=2024)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=120))
+
+
+def scan_messages(index: int = 0):
+    pair = V2VDatasetSim(DATASET)[index].pair
+    return (build_message(Tier.FULL_SCAN, [], cloud=pair.ego_cloud),
+            build_message(Tier.FULL_SCAN, [], cloud=pair.other_cloud))
+
+
+class TestByteBudget:
+    def test_byte_budget_evicts_least_recent(self):
+        cache = FeatureCache(max_entries=64, max_bytes=100)
+        cache.put("a", "A", nbytes=40)
+        cache.put("b", "B", nbytes=40)
+        cache.put("c", "C", nbytes=40)  # 120 > 100: evict "a"
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert cache.evictions == 1
+        assert cache.total_bytes == 80
+
+    def test_recency_protects_entries(self):
+        cache = FeatureCache(max_entries=64, max_bytes=100)
+        cache.put("a", "A", nbytes=40)
+        cache.put("b", "B", nbytes=40)
+        assert cache.get("a") == "A"  # refresh "a"
+        cache.put("c", "C", nbytes=40)  # now "b" is least recent
+        assert "a" in cache and "b" not in cache
+
+    def test_oversized_entry_degrades_to_cache_of_one(self):
+        cache = FeatureCache(max_entries=64, max_bytes=100)
+        cache.put("a", "A", nbytes=40)
+        cache.put("huge", "H", nbytes=500)
+        assert "huge" in cache and "a" not in cache
+        assert len(cache) == 1  # stored despite exceeding the budget
+
+    def test_refresh_replaces_size(self):
+        cache = FeatureCache(max_entries=64, max_bytes=100)
+        cache.put("a", "A", nbytes=90)
+        cache.put("a", "A2", nbytes=10)
+        assert cache.total_bytes == 10
+        cache.put("b", "B", nbytes=80)
+        assert "a" in cache and "b" in cache
+
+    def test_entry_bound_still_applies(self):
+        cache = FeatureCache(max_entries=2, max_bytes=10**9)
+        for key in "abc":
+            cache.put(key, key, nbytes=1)
+        assert len(cache) == 2 and "a" not in cache
+
+    def test_clear_resets_byte_accounting(self):
+        cache = FeatureCache(max_entries=4, max_bytes=100)
+        cache.put("a", "A", nbytes=40)
+        cache.clear()
+        assert cache.total_bytes == 0 and len(cache) == 0
+
+
+class TestWorkerHelpers:
+    def test_digest_separates_content_and_shape(self):
+        a = np.arange(6, dtype=np.float64)
+        assert _digest(a) == _digest(a.copy())
+        assert _digest(a) != _digest(a.reshape(2, 3))
+        assert _digest(a) != _digest(a.astype(np.float32))
+        assert _digest(None) != _digest(np.empty(0))
+        b = a.copy()
+        b[0] += 1
+        assert _digest(a) != _digest(b)
+
+    def test_features_nbytes_walks_attributes(self):
+        class Inner:
+            __slots__ = ("image",)
+
+            def __init__(self):
+                self.image = np.zeros((4, 4))
+
+        class Outer:
+            def __init__(self):
+                self.inner = Inner()
+                self.xy = np.zeros((3, 2), dtype=np.int64)
+                self.name = "not an array"
+
+        expected = 4 * 4 * 8 + 3 * 2 * 8
+        assert _features_nbytes(Outer()) == expected
+        assert _features_nbytes(np.zeros(10)) == 80
+        assert _features_nbytes(None) == 0
+
+
+class TestWarmCacheService:
+    def test_hit_counters_monotonic_across_requests(self):
+        """Repeated identical scan pairs: the second and later requests
+        hit the warm cache, and the merged counters only ever grow."""
+        ego, other = scan_messages()
+
+        async def scenario():
+            config = ServiceConfig(dataset_config=DATASET, workers=1,
+                                   heartbeat_interval=0.05)
+            async with PoseService(config) as service:
+                observed = []
+                for n in range(3):
+                    await service.submit(ServiceRequest(
+                        request_id=1, ego=ego, other=other))
+                    counters = service.registry.counter_values(
+                        "service/worker_cache/")
+                    observed.append(
+                        (counters.get("service/worker_cache/hits", 0),
+                         counters.get("service/worker_cache/misses", 0)))
+                return observed
+
+        observed = run(scenario())
+        hits = [h for h, _ in observed]
+        assert hits == sorted(hits)  # monotonic
+        # First request misses both sides, later ones hit both.
+        assert observed[0] == (0, 2)
+        assert observed[-1][0] >= 4
+
+    def test_cache_on_off_byte_identical(self):
+        """The acceptance contract: every response field equal with the
+        cache enabled and disabled, across full-scan and BV tiers."""
+        from repro.core.pipeline import BBAlign
+
+        ego, other_full = scan_messages()
+        aligner = BBAlign()
+        other_bv = build_message(
+            Tier.BV_IMAGE, [],
+            features=aligner.extract_features(
+                V2VDatasetSim(DATASET)[0].pair.other_cloud))
+        requests = [
+            ServiceRequest(request_id=1, ego=ego, other=other_full),
+            ServiceRequest(request_id=2, ego=ego, other=other_bv),
+            ServiceRequest(request_id=1, ego=ego, other=other_full),
+        ]
+
+        async def leg(cache_mb: float):
+            config = ServiceConfig(dataset_config=DATASET, workers=1,
+                                   worker_cache_mb=cache_mb,
+                                   heartbeat_interval=0.05)
+            async with PoseService(config) as service:
+                return [await service.submit(request)
+                        for request in requests]
+
+        warm = run(leg(64.0))
+        cold = run(leg(0.0))
+        assert warm == cold
+
+    def test_zero_budget_disables_storage(self):
+        cache = FeatureCache(max_entries=0)
+        cache.put("a", "A", nbytes=1)
+        assert cache.get("a") is None
+        assert cache.misses == 1
+
+
+def make_controller(**overrides):
+    config = dict(min_batch=1, max_batch=8, base_window=0.002,
+                  step_up_after=2, step_down_after=3, cooldown=0.05)
+    config.update(overrides)
+    clock = FakeClock()
+    return AdaptiveBatchController(BatchControllerConfig(**config),
+                                   clock=clock), clock
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestAdaptiveBatchController:
+    def test_steps_up_after_consecutive_deep_samples(self):
+        controller, clock = make_controller()
+        assert controller.batch_size == 1
+        assert not controller.observe(5)  # first deep sample: no step
+        clock.advance(0.1)
+        assert controller.observe(5)  # second: step up
+        assert controller.batch_size == 2
+
+    def test_mid_band_resets_streaks(self):
+        controller, clock = make_controller()
+        controller.observe(5)
+        clock.advance(0.1)
+        controller.observe(1)  # mid band for size 1? depth 1 <= 0.5? no:
+        # low_factor*1 = 0.5, high_factor*1 = 2 → depth 1 is mid band.
+        clock.advance(0.1)
+        assert not controller.observe(5)  # streak restarted
+        assert controller.batch_size == 1
+
+    def test_cooldown_blocks_consecutive_steps(self):
+        controller, clock = make_controller(cooldown=1.0)
+        controller.observe(50)
+        clock.advance(2.0)
+        assert controller.observe(50)  # step 1 → size 2
+        assert not controller.observe(50)  # within cooldown
+        assert not controller.observe(50)
+        assert controller.batch_size == 2
+        clock.advance(2.0)
+        # The streak kept accumulating through the cooldown, so the
+        # first qualifying sample after expiry steps immediately.
+        assert controller.observe(50)
+        assert controller.batch_size == 4
+
+    def test_ladder_is_bounded(self):
+        controller, clock = make_controller(max_batch=4, cooldown=0.0)
+        for _ in range(20):
+            controller.observe(1000)
+            clock.advance(1.0)
+        assert controller.batch_size == 4
+        for _ in range(20):
+            controller.observe(0)
+            clock.advance(1.0)
+        assert controller.batch_size == 1
+
+    def test_step_down_is_slower(self):
+        controller, clock = make_controller(cooldown=0.0)
+        for _ in range(4):
+            controller.observe(100)
+            clock.advance(1.0)
+        assert controller.batch_size == 4
+        controller.observe(0)
+        controller.observe(0)
+        assert controller.batch_size == 4  # step_down_after=3 not met
+        controller.observe(0)
+        assert controller.batch_size == 2
+
+    def test_window_scales_with_rung(self):
+        controller, clock = make_controller(cooldown=0.0)
+        base = controller.batch_window
+        controller.observe(100)
+        clock.advance(1.0)
+        controller.observe(100)
+        assert controller.batch_window == pytest.approx(2 * base)
+
+    def test_deterministic_replay(self):
+        samples = [9, 9, 0, 7, 7, 0, 0, 0, 1, 4, 4, 0, 0, 0, 12, 12]
+        walks = []
+        for _ in range(2):
+            controller, clock = make_controller(cooldown=0.0)
+            walk = []
+            for depth in samples:
+                controller.observe(depth)
+                clock.advance(0.01)
+                walk.append(controller.batch_size)
+            walks.append(walk)
+        assert walks[0] == walks[1]
+
+    def test_counters_record_into_ambient_registry(self):
+        registry = MetricsRegistry()
+        controller, clock = make_controller(cooldown=0.0)
+        with use_registry(registry):
+            for _ in range(2):
+                controller.observe(100)
+                clock.advance(1.0)
+        assert registry.counter(
+            "service/batch_controller/step_up").value == 1
+
+    def test_initial_snaps_to_ladder_rung(self):
+        controller = AdaptiveBatchController(
+            BatchControllerConfig(min_batch=1, max_batch=16), initial=6)
+        assert controller.batch_size == 4  # closest rung <= 6
+
+    def test_service_uses_controller_limits(self):
+        service = PoseService(ServiceConfig(
+            dataset_config=DATASET, adaptive_batch=True, batch_size=4))
+        size, window = service._batch_limits()
+        assert size == 4
+        assert window == service._controller.batch_window
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            BatchControllerConfig(min_batch=0)
+        with pytest.raises(ValueError):
+            BatchControllerConfig(max_batch=1, min_batch=2)
+        with pytest.raises(ValueError):
+            BatchControllerConfig(high_factor=0.5, low_factor=0.5)

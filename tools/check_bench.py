@@ -16,8 +16,8 @@ name under ``--baselines-dir`` (default
   gate **fails**.  These values are seeded, so a change means behavior
   changed, not the weather on the CI runner.
 * **Timing drift** — ``*_ms`` / ``*_s`` / ``*_mb`` / ``*_rps`` /
-  ``speedup`` fields: compared as ratios against ``--max-slowdown``
-  (default 1.5).  ``*_rps`` and ``speedup`` are larger-is-better, so
+  ``*speedup`` fields: compared as ratios against ``--max-slowdown``
+  (default 1.5).  ``*_rps`` and ``*speedup`` are larger-is-better, so
   their ratio is inverted; the rest (latencies, wall times, memory
   ceilings) are smaller-is-better.  Exceeding the budget **warns** by
   default — CI runners are noisy — and fails only under ``--strict``
@@ -56,11 +56,13 @@ TIMING_SUBTREES = {"stages_before_s", "stages_after_s", "stage_speedups"}
 
 
 #: Timing-key suffixes where *larger* is better (ratio inverted).
-_INVERTED_SUFFIXES = ("_rps",)
+#: ``speedup`` also matches compound names (``rps_speedup``,
+#: ``bytes_speedup``) so data-plane ratios gate inverted too.
+_INVERTED_SUFFIXES = ("_rps", "speedup")
 
 
 def _is_timing_key(key: str) -> bool:
-    return (key == "speedup" or key.endswith("_ms") or key.endswith("_s")
+    return (key.endswith("_ms") or key.endswith("_s")
             or key.endswith("_mb") or key.endswith(_INVERTED_SUFFIXES))
 
 
@@ -95,7 +97,7 @@ class Comparison:
         if baseline <= 0 or current <= 0:
             return  # degenerate timing (e.g. sub-resolution stage): skip
         leaf = label.rsplit(".", 1)[-1]
-        if leaf == "speedup" or leaf.endswith(_INVERTED_SUFFIXES):
+        if leaf.endswith(_INVERTED_SUFFIXES):
             ratio = baseline / current
         else:
             ratio = current / baseline
