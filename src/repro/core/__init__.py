@@ -6,19 +6,19 @@ and :mod:`repro.core.box_alignment` stage 2 (bounding-box refinement).
 """
 
 from repro.core.box_alignment import BoxAligner, BoxAlignment
+from repro.core.bv_matching import BVFeatures, BVMatch, BVMatcher
 from repro.core.confidence import ConfidenceModel, fit_confidence_model
-from repro.core.bv_matching import BVFeatures, BVMatcher, BVMatch
+from repro.core.config import (
+    BBAlignConfig,
+    BoxAlignConfig,
+    BVImageConfig,
+    BVMatchRansacConfig,
+    SuccessCriteria,
+)
 from repro.core.degradation import (
     DegradationLevel,
     FailureReason,
     StageDiagnostics,
-)
-from repro.core.config import (
-    BBAlignConfig,
-    BVImageConfig,
-    BoxAlignConfig,
-    BVMatchRansacConfig,
-    SuccessCriteria,
 )
 from repro.core.multi import MultiAlignment, MultiVehicleAligner, PairwiseEdge
 from repro.core.pipeline import BBAlign

@@ -22,11 +22,11 @@ from repro.core.config import BBAlignConfig
 from repro.features.descriptors import BvftDescriptorExtractor, DescriptorSet
 from repro.features.fast import Keypoints, detect_fast
 from repro.features.harris import detect_harris
-from repro.features.pc_keypoints import PcKeypointConfig, detect_pc_keypoints
 from repro.features.matching import MatchResult, match_descriptors
+from repro.features.pc_keypoints import PcKeypointConfig, detect_pc_keypoints
 from repro.geometry.ransac import RansacResult, ransac_rigid_2d
-from repro.obs.metrics import counter, histogram
 from repro.geometry.se2 import SE2
+from repro.obs.metrics import counter, histogram
 from repro.pointcloud.cloud import PointCloud
 
 __all__ = ["BVFeatures", "BVMatch", "BVMatcher"]

@@ -56,10 +56,10 @@ from repro.core.degradation import (
 )
 from repro.core.result import PoseRecoveryResult
 from repro.features.matching import MatchResult
-from repro.obs.metrics import histogram
 from repro.geometry.ransac import RansacResult
 from repro.geometry.se2 import SE2
 from repro.geometry.se3 import SE3
+from repro.obs.metrics import histogram
 from repro.pointcloud.cloud import PointCloud
 
 __all__ = ["BBAlign"]

@@ -9,11 +9,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.detection.simulated import COBEVT_PROFILE, FCOOPER_PROFILE
+from repro.experiments.common import run_pose_recovery_sweep
 from repro.experiments.registry import ExperimentSpec, register
 from repro.metrics.aggregation import Cdf
 from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
-
-from repro.experiments.common import run_pose_recovery_sweep
 
 __all__ = ["Fig13Result", "run_fig13", "format_fig13"]
 

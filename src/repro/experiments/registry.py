@@ -30,7 +30,7 @@ from __future__ import annotations
 import importlib
 import inspect
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 __all__ = ["ExperimentSpec", "register", "get_spec", "get_experiment",

@@ -81,7 +81,8 @@ from repro.runtime.timings import SweepTimings, stage
 from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
 
 __all__ = ["PoolUnavailableError", "resolve_workers", "chunk_indices",
-           "run_sweep_parallel", "shutdown_pool"]
+           "run_sweep_parallel", "run_tasks_parallel", "TaskError",
+           "shutdown_pool"]
 
 
 def chunk_indices(num_items: int, workers: int,
@@ -255,10 +256,10 @@ def _shutdown_pool_at_exit() -> None:
 atexit.register(_shutdown_pool_at_exit)
 
 
-def _collect_chunks(pool: ProcessPoolExecutor, tasks: list[_ChunkTask],
+def _collect_chunks(pool: ProcessPoolExecutor, tasks: list,
                     per_chunk: dict[int, tuple], merged: SweepTimings,
-                    chunk_timeout: float | None) -> list[tuple[_ChunkTask,
-                                                               Exception]]:
+                    chunk_timeout: float | None,
+                    worker=None) -> list[tuple]:
     """Submit ``tasks`` and gather results; returns the failed ones.
 
     Successful chunks land in ``per_chunk`` keyed by first pair index
@@ -266,13 +267,17 @@ def _collect_chunks(pool: ProcessPoolExecutor, tasks: list[_ChunkTask],
     retried by the caller's ladder replaces rather than adds).  Any
     per-chunk failure — worker death, timeout, serialization error, an
     exception escaping the worker — is captured with its task for the
-    caller's retry ladder, never raised.
+    caller's retry ladder, never raised.  ``worker`` is the function the
+    pool runs per chunk (default: the sweep's :func:`_run_chunk`); it
+    must return ``(first_index, outcomes, telemetry)``.
     """
-    failed: list[tuple[_ChunkTask, Exception]] = []
+    if worker is None:
+        worker = _run_chunk
+    failed: list[tuple] = []
     futures: list[tuple] = []
     for task in tasks:
         try:
-            futures.append((pool.submit(_run_chunk, task), task))
+            futures.append((pool.submit(worker, task), task))
         except Exception as error:  # pool died between submits
             failed.append((task, error))
     for future, task in futures:
@@ -406,6 +411,159 @@ def run_sweep_parallel(
             if collector is not None:
                 for event in telemetry["spans"]:
                     collector.emit(event)
+    if timings is not None:
+        merged.workers = workers
+        merged.wall_seconds = time.perf_counter() - start
+        timings.merge(merged)
+    return ordered
+
+
+# ----------------------------------------------------------------------
+# Generic fault-tolerant map.  Same pool, same chunking, same retry
+# ladder as the sweep — but over arbitrary picklable payloads, so other
+# subsystems (the multi-vehicle study shards *scenes* this way) inherit
+# the engine's fault tolerance without re-implementing it.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskError:
+    """Sentinel result for an item whose evaluation failed.
+
+    A generic-map item that raises — even after the chunk retry ladder —
+    occupies its slot in the result list with one of these instead of
+    aborting the map, mirroring the sweep's ``PairErrorOutcome``.
+    """
+
+    index: int
+    error: str
+    error_type: str
+
+    @classmethod
+    def from_exception(cls, index: int, error: Exception) -> TaskError:
+        return cls(index=index, error=str(error),
+                   error_type=type(error).__name__)
+
+
+@dataclass(frozen=True)
+class _MapChunkTask:
+    """One chunk of a generic map: the callable plus its payload slice.
+
+    ``fn`` must be a module-level function (picklable); each payload
+    item crosses the process boundary, so callers keep payloads small
+    (configuration, not data) and regenerate heavy state in ``fn``.
+    """
+
+    indices: tuple[int, ...]
+    fn: object
+    items: tuple
+    attempt: int = 0
+
+
+def _apply_map_item(fn, index: int, item):
+    try:
+        return fn(item)
+    except Exception as error:
+        return TaskError.from_exception(index, error)
+
+
+def _run_map_chunk(task: _MapChunkTask) -> tuple[int, list, dict]:
+    """Evaluate one generic chunk; returns (first index, results,
+    telemetry).  Item-level exceptions become :class:`TaskError`
+    records; only process-level failures escape to the retry ladder."""
+    timings = SweepTimings()
+    results = []
+    with use_registry(timings.registry):
+        for index, item in zip(task.indices, task.items):
+            result = _apply_map_item(task.fn, index, item)
+            if isinstance(result, TaskError):
+                timings.registry.counter("engine/task_errors").inc()
+            results.append(result)
+    return task.indices[0], results, {"snapshot": timings.to_snapshot(),
+                                      "spans": []}
+
+
+def _run_map_chunk_serially(task: _MapChunkTask) -> tuple[int, list, dict]:
+    try:
+        return _run_map_chunk(task)
+    except Exception as error:
+        results = [TaskError.from_exception(index, error)
+                   for index in task.indices]
+        return task.indices[0], results, {"snapshot": {}, "spans": []}
+
+
+def run_tasks_parallel(fn, items, *, workers: int | None = None,
+                       chunk_size: int | None = None,
+                       chunk_timeout: float | None = None,
+                       retry: RetryPolicy | None = None,
+                       seed: int = 7,
+                       timings: SweepTimings | None = None) -> list:
+    """Fault-tolerant parallel map of ``fn`` over ``items``.
+
+    Returns one result per item, in item order, exactly as a serial
+    ``[fn(item) for item in items]`` would — except an item whose
+    evaluation raises yields a :class:`TaskError` in its slot rather
+    than an exception.  Chunks ride the sweep's retry ladder (failed
+    chunk → fresh pool → in-process serial), and unlike
+    :func:`run_sweep_parallel` this never raises
+    :class:`PoolUnavailableError`: if the pool cannot start at all the
+    whole map degrades to in-process serial execution.  ``workers=1``
+    short-circuits to serial without touching the pool.
+
+    ``fn`` must be a module-level function and every item picklable.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return [_apply_map_item(fn, index, item)
+                for index, item in enumerate(items)]
+    chunks = chunk_indices(len(items), workers, chunk_size)
+    tasks = [_MapChunkTask(indices, fn,
+                           tuple(items[i] for i in indices))
+             for indices in chunks]
+    start = time.perf_counter()
+    per_chunk: dict[int, tuple] = {}
+    merged = SweepTimings()
+    merged.registry.counter("engine/chunks").inc(len(chunks))
+    try:
+        pool = _get_pool(workers)
+        failed = _collect_chunks(pool, tasks, per_chunk, merged,
+                                 chunk_timeout, worker=_run_map_chunk)
+    except PoolUnavailableError:
+        failed = [(task, PoolUnavailableError("pool unavailable"))
+                  for task in tasks]
+    policy = retry if retry is not None else ENGINE_DEFAULT
+    retry_rng = np.random.default_rng([seed, 0x53])
+    attempt = 0
+    for delay in policy.delays(retry_rng):
+        if not failed:
+            break
+        attempt += 1
+        shutdown_pool(wait=False, cancel_futures=True)
+        merged.registry.counter("engine/chunk_retries").inc(len(failed))
+        if delay > 0:
+            time.sleep(delay)
+        retry_tasks = [replace(task, attempt=attempt)
+                       for task, _ in failed]
+        try:
+            pool = _get_pool(workers)
+            failed = _collect_chunks(pool, retry_tasks, per_chunk,
+                                     merged, chunk_timeout,
+                                     worker=_run_map_chunk)
+        except PoolUnavailableError:
+            failed = [(replace(task, attempt=attempt), error)
+                      for task, error in failed]
+    if failed:
+        shutdown_pool(wait=False, cancel_futures=True)
+    for task, _error in failed:
+        merged.registry.counter("engine/serial_fallbacks").inc()
+        first_index, results, telemetry = _run_map_chunk_serially(
+            replace(task, attempt=attempt + 1))
+        per_chunk[first_index] = (results, telemetry)
+        merged.merge_chunk(first_index, telemetry["snapshot"])
+    ordered: list = []
+    for first_index in sorted(per_chunk):
+        ordered.extend(per_chunk[first_index][0])
     if timings is not None:
         merged.workers = workers
         merged.wall_seconds = time.perf_counter() - start

@@ -65,6 +65,7 @@ from repro.runtime.shm import (
     share_messages,
     shm_available,
 )
+from repro.runtime.timings import SweepTimings
 from repro.service import worker
 from repro.service.batching import (
     AdaptiveBatchController,
@@ -76,7 +77,6 @@ from repro.service.config import (
     ServiceOverloaded,
     ServiceUnsupported,
 )
-from repro.runtime.timings import SweepTimings
 
 __all__ = ["PoseService"]
 

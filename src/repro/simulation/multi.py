@@ -9,7 +9,7 @@ ground-truth pairwise poses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -31,7 +31,18 @@ from repro.simulation.scenario import (
 )
 from repro.simulation.world import WorldModel, generate_world
 
-__all__ = ["MultiScenarioConfig", "MultiFrame", "make_multi_frame"]
+__all__ = ["MultiScenarioConfig", "MultiFrame", "make_multi_frame",
+           "DEGRADATION_LEVELS"]
+
+#: Sensor-impairment ladder for the fleet grid: per level, the factor
+#: applied to ``range_noise`` and the *added* dropout probability.
+#: Level 0 is exact-clean (configs untouched, so seeded scenes are
+#: byte-identical to the pre-ladder generator).
+DEGRADATION_LEVELS: tuple[tuple[float, float], ...] = (
+    (1.0, 0.0),   # 0: clean
+    (4.0, 0.25),  # 1: moderate — noisy ranges, a quarter of returns lost
+    (8.0, 0.45),  # 2: heavy — long-baseline pairs should start failing
+)
 
 
 @dataclass(frozen=True)
@@ -45,18 +56,64 @@ class MultiScenarioConfig:
         spacing: target along-road spacing between consecutive CAVs.
         same_direction_prob: per-vehicle direction draw (vehicle 0 always
             faces forward).
+        density: multiplier over the world's object densities
+            (buildings, trees, poles, parked and moving cars); 1.0
+            leaves the scenario's world config untouched.
+        degradation: sensor-impairment rung into
+            :data:`DEGRADATION_LEVELS` (0 = clean).
     """
 
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     num_vehicles: int = 3
     spacing: float = 25.0
     same_direction_prob: float = 0.7
+    density: float = 1.0
+    degradation: int = 0
 
     def __post_init__(self) -> None:
         if self.num_vehicles < 2:
             raise ValueError("num_vehicles must be >= 2")
         if self.spacing <= 0:
             raise ValueError("spacing must be positive")
+        if self.density <= 0:
+            raise ValueError("density must be positive")
+        if not 0 <= self.degradation < len(DEGRADATION_LEVELS):
+            raise ValueError(
+                f"degradation must be in 0..{len(DEGRADATION_LEVELS) - 1}")
+
+    def effective_scenario(self) -> ScenarioConfig:
+        """The scenario with density and degradation applied.
+
+        Density scales every world object class; degradation replaces
+        both lidar models per :data:`DEGRADATION_LEVELS`.  At the
+        defaults (density 1.0, level 0) the scenario is returned
+        untouched, keeping pre-knob seeds byte-identical.
+        """
+        scenario = self.scenario
+        if self.density != 1.0:
+            world = scenario.world.resolved()
+            world = replace(
+                world,
+                building_density=world.building_density * self.density,
+                tree_density=world.tree_density * self.density,
+                pole_density=world.pole_density * self.density,
+                parked_density=world.parked_density * self.density,
+                traffic_density=world.traffic_density * self.density,
+                override_densities=True)
+            scenario = replace(scenario, world=world)
+        if self.degradation != 0:
+            noise_factor, extra_dropout = \
+                DEGRADATION_LEVELS[self.degradation]
+
+            def impair(lidar):
+                return replace(
+                    lidar,
+                    range_noise=lidar.range_noise * noise_factor,
+                    dropout=min(0.95, lidar.dropout + extra_dropout))
+            scenario = replace(scenario,
+                               ego_lidar=impair(scenario.ego_lidar),
+                               other_lidar=impair(scenario.other_lidar))
+        return scenario
 
 
 @dataclass(frozen=True)
@@ -86,6 +143,24 @@ class MultiFrame:
         vehicle ``target``'s frame."""
         return self.poses[target].inverse() @ self.poses[source]
 
+    def candidate_pairs(self, max_range: float = 90.0,
+                        ) -> tuple[tuple[int, int], ...]:
+        """Connectivity graph: pairs whose overlap plausibly exists.
+
+        Two scans can only co-register when their fields of view
+        overlap, which for road scenes is governed by inter-vehicle
+        distance; pairs farther apart than ``max_range`` are excluded
+        so the aligner never burns a stage-1 match on a hopeless edge.
+        In a deployment the same gate falls out of the V2V radio range.
+        """
+        pairs = []
+        for i in range(self.num_vehicles):
+            for j in range(i + 1, self.num_vehicles):
+                a, b = self.poses[i], self.poses[j]
+                if np.hypot(a.tx - b.tx, a.ty - b.ty) <= max_range:
+                    pairs.append((i, j))
+        return tuple(pairs)
+
 
 def make_multi_frame(config: MultiScenarioConfig | None = None,
                      rng: np.random.Generator | int | None = None) -> MultiFrame:
@@ -93,7 +168,7 @@ def make_multi_frame(config: MultiScenarioConfig | None = None,
     config = config or MultiScenarioConfig()
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
-    scenario = config.scenario
+    scenario = config.effective_scenario()
     world = generate_world(scenario.world, rng)
     road = world.road
     half = world.extent

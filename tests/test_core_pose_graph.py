@@ -1,0 +1,245 @@
+"""Tests for repro.core.pose_graph (robust SE(2) pose-graph solve)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pose_graph import (
+    PoseGraphConfig,
+    PoseGraphEdge,
+    connected_components,
+    cycle_gate,
+    optimize_pose_graph,
+    solve_incremental,
+    spanning_tree_init,
+)
+from repro.geometry.se2 import SE2
+
+
+def random_poses(rng, count, span=50.0):
+    return [SE2(float(rng.uniform(-np.pi, np.pi)),
+                float(rng.uniform(-span, span)),
+                float(rng.uniform(-span, span)))
+            for _ in range(count)]
+
+
+def gt_edge(poses, i, j, weight=10.0, noise=None, rng=None,
+            offset=None):
+    """Edge measuring ``i <- j``, optionally noisy or corrupted."""
+    transform = poses[i].inverse() @ poses[j]
+    theta, tx, ty = transform.theta, transform.tx, transform.ty
+    if noise is not None:
+        theta += rng.normal(0.0, noise[0])
+        tx += rng.normal(0.0, noise[1])
+        ty += rng.normal(0.0, noise[1])
+    if offset is not None:
+        theta += offset[0]
+        tx += offset[1]
+        ty += offset[2]
+    return PoseGraphEdge(i, j, SE2(theta, tx, ty), weight)
+
+
+def full_graph(poses, **kwargs):
+    count = len(poses)
+    return [gt_edge(poses, i, j, **kwargs)
+            for i in range(count) for j in range(i + 1, count)]
+
+
+def expected(poses, node, anchor=0):
+    """Ground-truth pose of ``node`` in the anchor's frame."""
+    return poses[anchor].inverse() @ poses[node]
+
+
+class TestCycleGate:
+    def test_exact_graph_keeps_everything(self):
+        rng = np.random.default_rng(0)
+        poses = random_poses(rng, 5)
+        gate = cycle_gate(full_graph(poses))
+        assert gate.rejected == ()
+        assert len(gate.kept) == 10
+        assert len(gate.cycle_residuals) == 10  # C(5,3)
+        assert all(t < 1e-6 for t, _ in gate.cycle_residuals)
+
+    def test_corrupted_edge_rejected_by_witnesses(self):
+        """A bad edge trips every triangle it touches; its good
+        neighbours are vindicated by their other triangles."""
+        rng = np.random.default_rng(1)
+        poses = random_poses(rng, 5)
+        edges = [gt_edge(poses, i, j) if (i, j) != (0, 3)
+                 else gt_edge(poses, i, j, offset=(0.0, 8.0, 0.0))
+                 for i in range(5) for j in range(i + 1, 5)]
+        gate = cycle_gate(edges)
+        assert {e.key for e in gate.rejected} == {(0, 3)}
+        assert len(gate.kept) == 9
+
+    def test_lone_bad_triangle_rejects_nothing(self):
+        """One triangle, one bad edge: no witness can pin the blame,
+        so the gate must leave all three edges for Huber to absorb."""
+        rng = np.random.default_rng(2)
+        poses = random_poses(rng, 3)
+        edges = [gt_edge(poses, 0, 1),
+                 gt_edge(poses, 1, 2),
+                 gt_edge(poses, 0, 2, offset=(0.0, 5.0, 0.0))]
+        gate = cycle_gate(edges)
+        assert gate.rejected == ()
+        assert gate.cycle_residuals[0][0] > 2.0  # loop is visibly open
+        assert gate.votes[(0, 2)] == (0, 1)
+
+    def test_rotation_tolerance_votes(self):
+        rng = np.random.default_rng(3)
+        poses = random_poses(rng, 4)
+        edges = [gt_edge(poses, i, j) if (i, j) != (0, 1)
+                 else gt_edge(poses, i, j, offset=(np.radians(25), 0, 0))
+                 for i in range(4) for j in range(i + 1, 4)]
+        gate = cycle_gate(edges)
+        assert {e.key for e in gate.rejected} == {(0, 1)}
+
+
+class TestConnectivity:
+    def test_components_with_isolated_nodes(self):
+        edges = [PoseGraphEdge(0, 1, SE2.identity()),
+                 PoseGraphEdge(3, 4, SE2.identity())]
+        assert connected_components(6, edges) == [
+            (0, 1), (2,), (3, 4), (5,)]
+
+    def test_spanning_tree_reaches_component(self):
+        rng = np.random.default_rng(4)
+        poses = random_poses(rng, 4)
+        chain = [gt_edge(poses, 0, 1), gt_edge(poses, 1, 2),
+                 gt_edge(poses, 2, 3)]
+        init = spanning_tree_init(chain, anchor=0)
+        assert set(init) == {0, 1, 2, 3}
+        assert init[0].is_close(SE2.identity())
+        assert init[3].is_close(expected(poses, 3),
+                                atol_translation=1e-9)
+
+
+class TestOptimize:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_full_graph_recovers_ground_truth(self, seed):
+        rng = np.random.default_rng(seed)
+        poses = random_poses(rng, 6)
+        solution = optimize_pose_graph(6, full_graph(poses))
+        assert solution.converged
+        assert solution.poses[0].is_close(SE2.identity())
+        for node in range(1, 6):
+            assert solution.poses[node].is_close(
+                expected(poses, node), atol_translation=1e-6,
+                atol_rotation=1e-7)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_noisy_graph_within_tolerance(self, seed):
+        """Property: fused poses beat single-edge noise by averaging
+        redundant measurements."""
+        rng = np.random.default_rng([10, seed])
+        poses = random_poses(rng, 6)
+        edges = full_graph(poses, noise=(0.002, 0.05), rng=rng)
+        solution = optimize_pose_graph(6, edges)
+        assert solution.converged
+        for node in range(1, 6):
+            truth = expected(poses, node)
+            assert solution.poses[node].translation_distance(truth) < 0.3
+            assert solution.poses[node].rotation_distance(truth) < 0.02
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_injected_outlier_rejected_poses_accurate(self, seed):
+        """Property: gate + robust solve neutralize a corrupted edge."""
+        rng = np.random.default_rng([20, seed])
+        poses = random_poses(rng, 6)
+        edges = full_graph(poses, noise=(0.002, 0.05), rng=rng)
+        bad = gt_edge(poses, 0, 3, offset=(0.3, 9.0, -6.0))
+        gate = cycle_gate([bad if e.key == (0, 3) else e for e in edges])
+        assert {e.key for e in gate.rejected} == {(0, 3)}
+        solution = optimize_pose_graph(6, gate.kept)
+        for node in range(1, 6):
+            truth = expected(poses, node)
+            assert solution.poses[node].translation_distance(truth) < 0.3
+
+    def test_huber_absorbs_unwitnessed_outlier(self):
+        """With no witness triangle the gate keeps the bad edge, and
+        the robust loss must still land near truth."""
+        rng = np.random.default_rng(5)
+        poses = random_poses(rng, 3)
+        edges = [gt_edge(poses, 0, 1, weight=100.0),
+                 gt_edge(poses, 1, 2, weight=100.0),
+                 gt_edge(poses, 0, 2, weight=1.0,
+                         offset=(0.0, 4.0, 0.0))]
+        gate = cycle_gate(edges)
+        assert gate.rejected == ()
+        solution = optimize_pose_graph(3, gate.kept)
+        truth = expected(poses, 2)
+        assert solution.poses[2].translation_distance(truth) < 0.5
+
+    def test_isolated_node_stays_none(self):
+        rng = np.random.default_rng(6)
+        poses = random_poses(rng, 3)
+        solution = optimize_pose_graph(3, [gt_edge(poses, 0, 1)])
+        assert solution.poses[2] is None
+        assert solution.poses[1] is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="outside"):
+            optimize_pose_graph(2, [PoseGraphEdge(0, 5, SE2.identity())])
+        with pytest.raises(ValueError, match="self-loop"):
+            optimize_pose_graph(2, [PoseGraphEdge(1, 1, SE2.identity())])
+        with pytest.raises(ValueError):
+            PoseGraphConfig(huber_delta=0.0)
+
+    def test_edge_residuals_reported(self):
+        rng = np.random.default_rng(7)
+        poses = random_poses(rng, 4)
+        solution = optimize_pose_graph(4, full_graph(poses))
+        assert set(solution.edge_residuals) == {
+            (i, j) for i in range(4) for j in range(i + 1, 4)}
+        assert all(r < 1e-6 for r in solution.edge_residuals.values())
+
+
+class TestIncremental:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_unchanged_graph_reuses_everything(self, seed):
+        rng = np.random.default_rng([30, seed])
+        poses = random_poses(rng, 5)
+        edges = full_graph(poses, noise=(0.002, 0.05), rng=rng)
+        full = optimize_pose_graph(5, edges)
+        again = solve_incremental(5, edges, full)
+        assert again.poses == full.poses  # bit-identical, not just close
+        assert again.edge_residuals == full.edge_residuals
+        assert again.iterations == 0
+        assert again.reused_components == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dirty_component_matches_full_solve(self, seed):
+        """Property: incremental == full, always.  Two components; only
+        one changes, and the clean one is copied not re-solved."""
+        rng = np.random.default_rng([40, seed])
+        poses = random_poses(rng, 6)
+        stable = [gt_edge(poses, 0, 1), gt_edge(poses, 1, 2),
+                  gt_edge(poses, 0, 2)]
+        volatile = [gt_edge(poses, 3, 4), gt_edge(poses, 4, 5),
+                    gt_edge(poses, 3, 5)]
+        previous = optimize_pose_graph(6, stable + volatile)
+        changed = volatile[:-1] + [gt_edge(poses, 3, 5,
+                                           offset=(0.0, 0.4, 0.0))]
+        incremental = solve_incremental(6, stable + changed, previous)
+        fresh = optimize_pose_graph(6, stable + changed)
+        assert incremental.poses == fresh.poses
+        assert incremental.reused_components == 1
+        assert incremental.iterations > 0  # the dirty half did re-solve
+
+    def test_no_previous_is_full_solve(self):
+        rng = np.random.default_rng(8)
+        poses = random_poses(rng, 4)
+        edges = full_graph(poses)
+        assert (solve_incremental(4, edges, None).poses
+                == optimize_pose_graph(4, edges).poses)
+
+    def test_fleet_growth_dirties_joined_component(self):
+        """A new vehicle joining a component forces its re-solve."""
+        rng = np.random.default_rng(9)
+        poses = random_poses(rng, 4)
+        three = [gt_edge(poses, 0, 1), gt_edge(poses, 1, 2),
+                 gt_edge(poses, 0, 2)]
+        previous = optimize_pose_graph(4, three)
+        grown = three + [gt_edge(poses, 2, 3)]
+        incremental = solve_incremental(4, grown, previous)
+        assert incremental.reused_components == 0
+        assert incremental.poses == optimize_pose_graph(4, grown).poses

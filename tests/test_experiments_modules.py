@@ -147,3 +147,51 @@ class TestSuccessRateMath:
         assert result.by_scenario["urban"] == pytest.approx(0.5)
         assert result.by_scenario["open"] == 0.0
         assert result.scenario_counts == {"urban": 2, "open": 1}
+
+
+class TestMultiStudyMath:
+    @staticmethod
+    def scene(targets=2, direct=1, graph=2, errors=(0.2,),
+              cycles=(0.1,), pairs=3, edges=2, rejected=0):
+        from repro.experiments.multi_study import SceneOutcome
+        return SceneOutcome(
+            targets=targets, direct_hits=direct, graph_hits=graph,
+            errors=tuple(errors), cycle_translations=tuple(cycles),
+            num_candidate_pairs=pairs, num_edges=edges,
+            num_rejected=rejected)
+
+    def test_aggregate_counts_and_medians(self):
+        from repro.experiments.multi_study import _aggregate
+        outcomes = [self.scene(errors=(0.2, 0.4), cycles=(0.1,)),
+                    self.scene(direct=0, graph=1, errors=(0.8,),
+                               cycles=(), rejected=1)]
+        result = _aggregate(outcomes, num_scenes=2, num_vehicles=3,
+                            density=2.5, degradation=1)
+        assert result.targets == 4
+        assert result.direct_hits == 1 and result.graph_hits == 3
+        assert result.direct_coverage == pytest.approx(0.25)
+        assert result.graph_coverage == pytest.approx(0.75)
+        assert result.median_error == pytest.approx(0.4)
+        assert result.median_cycle_translation == pytest.approx(0.1)
+        assert result.rejected_edges == 1
+        assert result.scenes_with_cycles == 1
+        assert result.density == 2.5 and result.degradation == 1
+
+    def test_aggregate_counts_scene_errors(self):
+        from repro.experiments.multi_study import _aggregate
+        from repro.runtime.engine import TaskError
+        outcomes = [self.scene(),
+                    TaskError(index=1, error="boom",
+                              error_type="RuntimeError")]
+        result = _aggregate(outcomes, num_scenes=2, num_vehicles=3,
+                            density=1.0, degradation=0)
+        assert result.scene_errors == 1
+        assert result.targets == 2  # only the surviving scene counts
+
+    def test_aggregate_all_failed_is_nan_not_crash(self):
+        from repro.experiments.multi_study import _aggregate
+        result = _aggregate([], num_scenes=1, num_vehicles=3,
+                            density=1.0, degradation=0)
+        assert np.isnan(result.median_error)
+        assert np.isnan(result.median_cycle_translation)
+        assert result.direct_coverage == 0.0

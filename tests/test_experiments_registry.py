@@ -13,8 +13,8 @@ from repro.experiments.registry import (
 EXPECTED_NAMES = {
     "fig7", "fig8", "fig9", "success-rate", "fig10", "fig11", "fig12",
     "fig13", "table1", "fig14", "bandwidth", "ablations", "icp",
-    "tracking", "multi", "dataset-stats", "submap", "noise-sweep",
-    "robustness", "comms-grid",
+    "tracking", "multi", "multi-grid", "dataset-stats", "submap",
+    "noise-sweep", "robustness", "comms-grid",
 }
 
 

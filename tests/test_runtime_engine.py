@@ -86,3 +86,53 @@ class TestFallback:
         outcomes = run_pose_recovery_sweep(dataset, include_vips=False,
                                            workers=4, cache=False)
         assert len(outcomes) == 1
+
+
+def _square(x):
+    return x * x
+
+
+def _increment_positive(x):
+    if x < 0:
+        raise ValueError(f"bad item {x}")
+    return x + 1
+
+
+class TestTasksParallel:
+    def test_serial_path_matches_comprehension(self):
+        items = list(range(7))
+        assert engine.run_tasks_parallel(_square, items, workers=1) \
+            == [x * x for x in items]
+
+    def test_pool_matches_serial(self):
+        items = list(range(9))
+        serial = engine.run_tasks_parallel(_square, items, workers=1)
+        parallel = engine.run_tasks_parallel(_square, items, workers=3)
+        engine.shutdown_pool()
+        assert parallel == serial
+
+    def test_item_error_degrades_not_aborts(self):
+        out = engine.run_tasks_parallel(_increment_positive, [1, -2, 3],
+                                        workers=1)
+        assert out[0] == 2 and out[2] == 4
+        assert isinstance(out[1], engine.TaskError)
+        assert out[1].index == 1
+        assert out[1].error_type == "ValueError"
+
+    def test_pool_item_error_in_slot(self):
+        out = engine.run_tasks_parallel(_increment_positive,
+                                        [5, -1, 6, 7], workers=2)
+        engine.shutdown_pool()
+        assert [r for r in out if not isinstance(r, engine.TaskError)] \
+            == [6, 7, 8]
+        assert isinstance(out[1], engine.TaskError)
+
+    def test_empty_items(self):
+        assert engine.run_tasks_parallel(_square, [], workers=4) == []
+
+    def test_timings_count_task_errors(self):
+        timings = SweepTimings()
+        engine.run_tasks_parallel(_increment_positive, [1, -2, -3],
+                                  workers=2, timings=timings)
+        engine.shutdown_pool()
+        assert timings.registry.counter("engine/task_errors").value == 2

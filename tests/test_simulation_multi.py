@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.simulation.multi import MultiScenarioConfig, make_multi_frame
+from repro.simulation.multi import (
+    DEGRADATION_LEVELS,
+    MultiScenarioConfig,
+    make_multi_frame,
+)
 from repro.simulation.scenario import ScenarioConfig
 
 
@@ -20,6 +24,48 @@ class TestConfig:
             MultiScenarioConfig(num_vehicles=1)
         with pytest.raises(ValueError):
             MultiScenarioConfig(spacing=0.0)
+        with pytest.raises(ValueError):
+            MultiScenarioConfig(density=0.0)
+        with pytest.raises(ValueError):
+            MultiScenarioConfig(degradation=len(DEGRADATION_LEVELS))
+
+    def test_effective_scenario_defaults_untouched(self):
+        """Density 1.0 + level 0 must return the scenario unchanged, so
+        pre-knob seeds stay byte-identical."""
+        config = MultiScenarioConfig()
+        assert config.effective_scenario() is config.scenario
+
+    def test_density_scales_world(self):
+        base = MultiScenarioConfig().scenario.world.resolved()
+        scaled = MultiScenarioConfig(density=2.0) \
+            .effective_scenario().world
+        assert scaled.override_densities
+        assert scaled.traffic_density == pytest.approx(
+            base.traffic_density * 2.0)
+        assert scaled.parked_density == pytest.approx(
+            base.parked_density * 2.0)
+        assert scaled.building_density == pytest.approx(
+            base.building_density * 2.0)
+
+    def test_degradation_impairs_both_lidars(self):
+        config = MultiScenarioConfig(degradation=2)
+        effective = config.effective_scenario()
+        factor, extra = DEGRADATION_LEVELS[2]
+        for before, after in ((config.scenario.ego_lidar,
+                               effective.ego_lidar),
+                              (config.scenario.other_lidar,
+                               effective.other_lidar)):
+            assert after.range_noise == pytest.approx(
+                before.range_noise * factor)
+            assert after.dropout == pytest.approx(
+                min(0.95, before.dropout + extra))
+
+    def test_degradation_ladder_monotone(self):
+        factors = [level[0] for level in DEGRADATION_LEVELS]
+        dropouts = [level[1] for level in DEGRADATION_LEVELS]
+        assert factors == sorted(factors)
+        assert dropouts == sorted(dropouts)
+        assert DEGRADATION_LEVELS[0] == (1.0, 0.0)
 
 
 class TestMakeMultiFrame:
@@ -60,3 +106,34 @@ class TestMakeMultiFrame:
         a = make_multi_frame(config, rng=3)
         b = make_multi_frame(config, rng=3)
         assert a.poses == b.poses
+
+    def test_degradation_thins_clouds_not_poses(self):
+        """Impairment changes what the sensors see, not where the
+        vehicles are: same seed => same layout, sparser returns."""
+        clean = make_multi_frame(MultiScenarioConfig(
+            num_vehicles=3, spacing=18.0), rng=11)
+        heavy = make_multi_frame(MultiScenarioConfig(
+            num_vehicles=3, spacing=18.0, degradation=2), rng=11)
+        assert heavy.poses == clean.poses
+        for sparse, dense in zip(heavy.clouds, clean.clouds):
+            assert len(sparse) < len(dense)
+
+
+class TestCandidatePairs:
+    def test_all_pairs_when_close(self, frame):
+        assert frame.candidate_pairs(1e6) == ((0, 1), (0, 2), (1, 2))
+
+    def test_range_gate_drops_distant_pairs(self):
+        frame = make_multi_frame(MultiScenarioConfig(
+            num_vehicles=5, spacing=28.0, same_direction_prob=1.0),
+            rng=7)
+        pairs = frame.candidate_pairs(60.0)
+        all_pairs = frame.candidate_pairs(1e6)
+        assert set(pairs) < set(all_pairs)
+        for i, j in set(all_pairs) - set(pairs):
+            a, b = frame.poses[i], frame.poses[j]
+            assert np.hypot(a.tx - b.tx, a.ty - b.ty) > 60.0
+
+    def test_pairs_are_canonical(self, frame):
+        for i, j in frame.candidate_pairs():
+            assert 0 <= i < j < frame.num_vehicles

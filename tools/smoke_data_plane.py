@@ -35,18 +35,40 @@ from repro.simulation.dataset import DatasetConfig, V2VDatasetSim
 def scan_pair():
     pair = V2VDatasetSim(DatasetConfig(num_pairs=2, seed=2024))[0].pair
     ego_dets, other_dets = detect_for_pair(
-        pair, SimulatedDetector(COBEVT_PROFILE), 7, 0)
-    return (build_message(Tier.FULL_SCAN, [d.box for d in ego_dets],
-                          cloud=pair.ego_cloud),
-            build_message(Tier.FULL_SCAN, [d.box for d in other_dets],
-                          cloud=pair.other_cloud))
+        pair, SimulatedDetector(COBEVT_PROFILE), 7, 0
+    )
+    return (
+        build_message(
+            Tier.FULL_SCAN, [d.box for d in ego_dets], cloud=pair.ego_cloud
+        ),
+        build_message(
+            Tier.FULL_SCAN,
+            [d.box for d in other_dets],
+            cloud=pair.other_cloud,
+        ),
+    )
 
 
 def start_server(flag: str) -> tuple[subprocess.Popen, int]:
     process = subprocess.Popen(
-        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
-         "--pairs", "2", "--workers", "2", flag],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--pairs",
+            "2",
+            "--workers",
+            "2",
+            flag,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
     line = process.stdout.readline()
     assert "listening on" in line, f"serve {flag} did not start: {line!r}"
     port = int(line.split("listening on ")[1].split()[0].rsplit(":", 1)[1])
@@ -61,15 +83,19 @@ async def one_request(port: int, ego, other, *, via_shm: bool):
     try:
         if via_shm:
             return await client.request_shm(ego, other)
-        return await client.request(ServiceRequest(request_id=1,
-                                                   ego=ego, other=other))
+        return await client.request(
+            ServiceRequest(request_id=1, ego=ego, other=other)
+        )
     finally:
         await client.close()
 
 
 def drive(port: int, ego, other, *, via_shm: bool):
-    return asyncio.run(asyncio.wait_for(
-        one_request(port, ego, other, via_shm=via_shm), timeout=120))
+    return asyncio.run(
+        asyncio.wait_for(
+            one_request(port, ego, other, via_shm=via_shm), timeout=120
+        )
+    )
 
 
 def main() -> int:
@@ -85,7 +111,8 @@ def main() -> int:
                 descriptor = drive(port, ego, other, via_shm=True)
                 assert descriptor == by_flag[flag], (
                     f"shm descriptor response diverged:\n{descriptor}\n"
-                    f"!=\n{by_flag[flag]}")
+                    f"!=\n{by_flag[flag]}"
+                )
             process.send_signal(signal.SIGTERM)
             out, _err = process.communicate(timeout=60)
         finally:
@@ -96,11 +123,14 @@ def main() -> int:
         assert "drained;" in out, out
     assert by_flag["--shm"] == by_flag["--no-shm"], (
         f"--shm and --no-shm servers diverged:\n{by_flag['--shm']}\n"
-        f"!=\n{by_flag['--no-shm']}")
+        f"!=\n{by_flag['--no-shm']}"
+    )
     leaked = sorted(set(glob.glob("/dev/shm/*")) - segments_before)
     assert not leaked, f"leaked shared-memory segments: {leaked}"
-    print("service data-plane smoke: wire == shm descriptor, "
-          "--shm server == --no-shm server, zero leaked segments")
+    print(
+        "service data-plane smoke: wire == shm descriptor, "
+        "--shm server == --no-shm server, zero leaked segments"
+    )
     return 0
 
 
